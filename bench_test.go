@@ -1,0 +1,188 @@
+package btr
+
+// The benchmark harness: one Benchmark per paper artifact (Table 1-2,
+// Figures 1-15, the §4.2 coverage stat, and the §5 ablations), plus
+// micro-benchmarks of the substrates.
+//
+// The per-artifact benchmarks share one suite sweep (computed once at a
+// reduced scale so `go test -bench=.` stays laptop-friendly) and measure
+// the artifact regeneration itself. To regenerate the paper-scale
+// artifacts, run `go run ./cmd/brexp -scale 1.0` instead.
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"btr/internal/bpred"
+	"btr/internal/core"
+	"btr/internal/trace"
+)
+
+const benchScale = 0.005
+
+var (
+	benchCtxOnce sync.Once
+	benchCtx     *ExperimentContext
+)
+
+func benchContext(b *testing.B) *ExperimentContext {
+	b.Helper()
+	benchCtxOnce.Do(func() {
+		benchCtx = NewExperimentContext(SimConfig{Scale: benchScale})
+		benchCtx.Suite() // pay the sweep before timing starts
+	})
+	return benchCtx
+}
+
+func benchExperiment(b *testing.B, id string) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := RunExperiment(ctx, id, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)   { benchExperiment(b, "T1") }
+func BenchmarkTable2(b *testing.B)   { benchExperiment(b, "T2") }
+func BenchmarkCoverage(b *testing.B) { benchExperiment(b, "S1") }
+func BenchmarkFig01(b *testing.B)    { benchExperiment(b, "F1") }
+func BenchmarkFig02(b *testing.B)    { benchExperiment(b, "F2") }
+func BenchmarkFig03(b *testing.B)    { benchExperiment(b, "F3") }
+func BenchmarkFig04(b *testing.B)    { benchExperiment(b, "F4") }
+func BenchmarkFig05(b *testing.B)    { benchExperiment(b, "F5") }
+func BenchmarkFig06(b *testing.B)    { benchExperiment(b, "F6") }
+func BenchmarkFig07(b *testing.B)    { benchExperiment(b, "F7") }
+func BenchmarkFig08(b *testing.B)    { benchExperiment(b, "F8") }
+func BenchmarkFig09(b *testing.B)    { benchExperiment(b, "F9") }
+func BenchmarkFig10(b *testing.B)    { benchExperiment(b, "F10") }
+func BenchmarkFig11(b *testing.B)    { benchExperiment(b, "F11") }
+func BenchmarkFig12(b *testing.B)    { benchExperiment(b, "F12") }
+func BenchmarkFig13(b *testing.B)    { benchExperiment(b, "F13") }
+func BenchmarkFig14(b *testing.B)    { benchExperiment(b, "F14") }
+func BenchmarkFig15(b *testing.B)    { benchExperiment(b, "F15") }
+
+// The ablations run fresh predictor passes per iteration; keep them under
+// -bench filters rather than the default set by guarding on -short.
+func BenchmarkHybridAblation(b *testing.B)  { benchExperiment(b, "A1") }
+func BenchmarkConfidence(b *testing.B)      { benchExperiment(b, "A2") }
+func BenchmarkOptimalHistory(b *testing.B)  { benchExperiment(b, "A3") }
+func BenchmarkInterference(b *testing.B)    { benchExperiment(b, "A4") }
+func BenchmarkImplicitSchemes(b *testing.B) { benchExperiment(b, "A5") }
+
+// BenchmarkSuiteSweep measures the full two-pass pipeline itself (events
+// per op reported via custom metric).
+func BenchmarkSuiteSweep(b *testing.B) {
+	spec, err := FindWorkload("gcc", "genoutput.i")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		res := RunInput(spec, SimConfig{Scale: 0.01})
+		events += res.Events
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// --- substrate micro-benchmarks ---
+
+func benchPredictor(b *testing.B, p Predictor) {
+	r := uint64(12345)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r ^= r << 13
+		r ^= r >> 7
+		r ^= r << 17
+		pc := 0x400000 + (r%1024)*4
+		taken := r&8 != 0
+		if p.Predict(pc) != taken {
+			_ = taken
+		}
+		p.Update(pc, taken)
+	}
+}
+
+func BenchmarkPAsK8(b *testing.B)     { benchPredictor(b, NewPAs(8)) }
+func BenchmarkGAsK10(b *testing.B)    { benchPredictor(b, NewGAs(10)) }
+func BenchmarkGShareK12(b *testing.B) { benchPredictor(b, NewGShare(17, 12)) }
+func BenchmarkBimodal(b *testing.B)   { benchPredictor(b, NewBimodal(17)) }
+
+func BenchmarkTransitionHybrid(b *testing.B) {
+	spec, err := FindWorkload("gcc", "genoutput.i")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof := ProfileWorkload(spec, 0.01)
+	classes := Classify(prof.Profiles())
+	benchPredictor(b, NewTransitionHybrid(classes, prof.Profiles()))
+}
+
+func BenchmarkProfiler(b *testing.B) {
+	p := NewProfiler()
+	r := uint64(999)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r ^= r << 13
+		r ^= r >> 7
+		r ^= r << 17
+		p.Branch(0x400000+(r%512)*4, r&4 != 0)
+	}
+}
+
+func BenchmarkWorkloadCompress(b *testing.B) {
+	spec, err := FindWorkload("compress", "bigtest.in")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := &trace.CountingSink{}
+	b.ResetTimer()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		events += spec.Run(sink, 0.002)
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+func BenchmarkTraceEncode(b *testing.B) {
+	w, err := trace.NewWriter(io.Discard)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := uint64(7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r ^= r << 13
+		r ^= r >> 7
+		r ^= r << 17
+		w.Branch(0x400000+(r%256)*4, r&2 != 0)
+	}
+}
+
+func BenchmarkClassOf(b *testing.B) {
+	var sink core.Class
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = core.ClassOf(float64(i%1000) / 1000)
+	}
+	_ = sink
+}
+
+func BenchmarkCounterTable(b *testing.B) {
+	t := bpred.NewCounterTable(17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := uint64(i) * 2654435761
+		if t.Predict(idx) {
+			t.Update(idx, false)
+		} else {
+			t.Update(idx, true)
+		}
+	}
+}

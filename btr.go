@@ -1,0 +1,249 @@
+// Package btr reproduces "Branch Transition Rate: A New Metric for
+// Improved Branch Classification Analysis" (Haungs, Sallee, Farrens;
+// HPCA 2000) as a reusable Go library.
+//
+// The paper classifies conditional branches by two per-branch metrics —
+// taken rate and transition rate — and shows that the joint classification
+// predicts two-level branch predictor behaviour: which branches need no
+// pattern history, which alternating branches need one or two bits, which
+// need long histories, and which (the near-50%/50% "5/5" class) defeat
+// prediction entirely.
+//
+// This package is the public facade over the internal substrates:
+//
+//   - profiling and classification (taken/transition rates, 11-way
+//     classes, joint distribution, §4.2 coverage),
+//   - the predictor simulator (the paper's 32 KB PAs/GAs sweep plus
+//     baselines and classification-guided hybrids),
+//   - the SPECint95-analogue workload suite (Table 1),
+//   - the experiment drivers that regenerate every table and figure.
+//
+// # Quick start
+//
+//	spec, _ := btr.FindWorkload("compress", "bigtest.in")
+//	prof := btr.ProfileWorkload(spec, 0.1)
+//	for pc, p := range prof.Profiles() {
+//		jc := btr.ClassOfProfile(p)
+//		fmt.Printf("%#x taken=%.2f trans=%.2f class=%s\n",
+//			pc, p.TakenRate(), p.TransitionRate(), jc)
+//	}
+//
+// See the examples/ directory for complete programs.
+package btr
+
+import (
+	"io"
+
+	"btr/internal/bpred"
+	"btr/internal/conf"
+	"btr/internal/core"
+	"btr/internal/experiments"
+	"btr/internal/rng"
+	"btr/internal/sim"
+	"btr/internal/trace"
+	"btr/internal/workload"
+)
+
+// Re-exported core types. The concrete implementations live in internal
+// packages; these aliases are the supported API.
+type (
+	// Profile is the per-branch taken/transition accumulator.
+	Profile = core.Profile
+	// Profiler builds Profiles from a branch event stream.
+	Profiler = core.Profiler
+	// Class is an 11-way rate class (0..10).
+	Class = core.Class
+	// JointClass pairs a taken class with a transition class.
+	JointClass = core.JointClass
+	// ClassMap maps branch PCs to joint classes.
+	ClassMap = core.ClassMap
+	// Distribution is the dynamic-weighted joint class distribution.
+	Distribution = core.Distribution
+	// Coverage is the §4.2 coverage comparison.
+	Coverage = core.Coverage
+	// Advice is a §5 resource recommendation for a branch class.
+	Advice = core.Advice
+
+	// Event is one dynamic conditional branch execution.
+	Event = trace.Event
+	// Sink consumes branch events.
+	Sink = trace.Sink
+	// Source produces branch events.
+	Source = trace.Source
+
+	// Predictor is a dynamic branch predictor.
+	Predictor = bpred.Predictor
+
+	// Estimator assigns confidence to predictions.
+	Estimator = conf.Estimator
+
+	// WorkloadSpec is one Table 1 benchmark/input row.
+	WorkloadSpec = workload.Spec
+	// WorkloadTracer is the tracer handed to instrumented workload code;
+	// call its B method at every conditional branch site.
+	WorkloadTracer = workload.T
+	// Rand is the deterministic generator workloads draw inputs from.
+	Rand = rng.Rand
+
+	// SimConfig configures suite simulation.
+	SimConfig = sim.Config
+	// SuiteResult is the aggregated sweep result behind every figure.
+	SuiteResult = sim.SuiteResult
+	// InputResult is the per-input two-pass result.
+	InputResult = sim.InputResult
+	// PredictorKind selects PAs or GAs in sweep queries.
+	PredictorKind = sim.Kind
+
+	// Experiment regenerates one paper table or figure.
+	Experiment = experiments.Experiment
+)
+
+// Predictor kinds.
+const (
+	PAs = sim.KindPAs
+	GAs = sim.KindGAs
+)
+
+// Resource advice values returned by Advise (§5).
+const (
+	AdviseStatic        = core.AdviseStatic
+	AdviseShortLocal    = core.AdviseShortLocal
+	AdviseLongHistory   = core.AdviseLongHistory
+	AdviseNonPredictive = core.AdviseNonPredictive
+)
+
+// NumClasses is the number of rate classes (11).
+const NumClasses = core.NumClasses
+
+// MaxHistory is the largest history length in the paper's sweep (16).
+const MaxHistory = bpred.MaxHistory
+
+// ClassOf maps a rate in [0,1] to its class.
+func ClassOf(rate float64) Class { return core.ClassOf(rate) }
+
+// ClassOfProfile returns a profile's joint class.
+func ClassOfProfile(p *Profile) JointClass { return core.ClassOfProfile(p) }
+
+// Classify builds a ClassMap from profiles.
+func Classify(profiles map[uint64]*Profile) ClassMap { return core.Classify(profiles) }
+
+// ComputeCoverage evaluates the §4.2 coverage comparison.
+func ComputeCoverage(d *Distribution) Coverage { return core.ComputeCoverage(d) }
+
+// Advise maps a joint class to the paper's §5 resource recommendation.
+func Advise(jc JointClass) Advice { return core.Advise(jc) }
+
+// NewProfiler returns an empty profiler; feed it events via its Branch
+// method (it is a Sink).
+func NewProfiler() *Profiler { return core.NewProfiler() }
+
+// Workloads returns every Table 1 benchmark/input spec.
+func Workloads() []WorkloadSpec { return workload.Suite() }
+
+// FindWorkload returns the spec named bench/input.
+func FindWorkload(bench, input string) (WorkloadSpec, error) {
+	return workload.Find(bench, input)
+}
+
+// NewWorkloadSpec builds a custom workload from a user-supplied
+// instrumented program, usable everywhere a built-in spec is: profiling,
+// predictor runs, and RunSuite. The run function must be deterministic
+// given (r, target) and should emit branches via t.B until t.N() reaches
+// target. See examples/customworkload.
+func NewWorkloadSpec(bench, input string, target int64, seed uint64,
+	run func(t *WorkloadTracer, r *Rand, target int64)) WorkloadSpec {
+	return workload.NewSpec(bench, input, target, seed, run)
+}
+
+// ProfileWorkload profiles one workload at the given scale (1.0 = the
+// registry's default sizing).
+func ProfileWorkload(spec WorkloadSpec, scale float64) *Profiler {
+	profiler, _ := sim.ProfileInput(spec, scale)
+	return profiler
+}
+
+// RunInput runs the full two-pass pipeline (profile, then the PAs/GAs
+// history sweep) for one workload.
+func RunInput(spec WorkloadSpec, cfg SimConfig) *InputResult {
+	return sim.RunInput(spec, cfg)
+}
+
+// RunSuite runs the two-pass pipeline over the given specs and aggregates
+// (dynamic-occurrence weighted) exactly as the paper reports.
+func RunSuite(specs []WorkloadSpec, cfg SimConfig) *SuiteResult {
+	return sim.RunSuite(specs, cfg)
+}
+
+// Predictor constructors (the paper's §3 configurations and the
+// classification-guided hybrids of §5.4).
+
+// NewPAs returns the paper's 32 KB per-address two-level predictor with
+// history length k (0..MaxHistory).
+func NewPAs(k int) Predictor { return bpred.NewPAs(k) }
+
+// NewGAs returns the paper's 32 KB global two-level predictor with history
+// length k (0..MaxHistory).
+func NewGAs(k int) Predictor { return bpred.NewGAs(k) }
+
+// NewGShare returns a gshare predictor with 2^phtBits counters and history
+// length k.
+func NewGShare(phtBits, k int) Predictor { return bpred.NewGShare(phtBits, k) }
+
+// NewBimodal returns a bimodal predictor with 2^bits counters.
+func NewBimodal(bits int) Predictor { return bpred.NewBimodal(bits) }
+
+// NewTransitionHybrid builds the §5.4 classification-guided hybrid from a
+// profiling pass.
+func NewTransitionHybrid(classes ClassMap, profiles map[uint64]*Profile) Predictor {
+	return bpred.NewTransitionHybrid(classes, profiles, bpred.HybridComponents{})
+}
+
+// NewTakenHybrid builds the Chang-style taken-rate-guided hybrid baseline.
+func NewTakenHybrid(classes ClassMap, profiles map[uint64]*Profile) Predictor {
+	return bpred.NewTakenHybrid(classes, profiles, bpred.HybridComponents{})
+}
+
+// NewDynamicClassHybrid builds the §6 future-work predictor: transition
+// and taken rates measured by runtime counters over a per-branch window
+// (no profiling pass), steering each branch to the component its dynamic
+// class deserves. tableBits sizes the monitor table; window is executions
+// per classification decision (0 means 64).
+func NewDynamicClassHybrid(tableBits int, window uint16) Predictor {
+	return bpred.NewDynamicClassHybrid(tableBits, window, bpred.HybridComponents{})
+}
+
+// RunPredictor drives a predictor over a workload at the given scale and
+// returns (misses, events).
+func RunPredictor(p Predictor, spec WorkloadSpec, scale float64) (misses, events int64) {
+	sink := bpred.NewSink(p)
+	spec.Run(sink, scale)
+	return sink.Res.Misses, sink.Res.Events
+}
+
+// Experiments returns every table/figure driver in paper order.
+func Experiments() []Experiment { return experiments.All() }
+
+// FindExperiment returns the driver for an id such as "T2" or "F13".
+func FindExperiment(id string) (Experiment, error) { return experiments.Find(id) }
+
+// RunExperiment regenerates one artifact into w, sharing the sweep in ctx.
+func RunExperiment(ctx *ExperimentContext, id string, w io.Writer) error {
+	e, err := experiments.Find(id)
+	if err != nil {
+		return err
+	}
+	return e.Run(ctx.ctx, w)
+}
+
+// ExperimentContext shares one suite sweep across experiment runs.
+type ExperimentContext struct {
+	ctx *experiments.Context
+}
+
+// NewExperimentContext builds a context over the full Table 1 suite.
+func NewExperimentContext(cfg SimConfig) *ExperimentContext {
+	return &ExperimentContext{ctx: experiments.NewContext(cfg)}
+}
+
+// Suite exposes the shared suite result (computing it on first use).
+func (c *ExperimentContext) Suite() *SuiteResult { return c.ctx.Suite() }

@@ -1,0 +1,214 @@
+package btr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const testScale = 0.002
+
+func TestWorkloadsCatalog(t *testing.T) {
+	specs := Workloads()
+	if len(specs) != 34 {
+		t.Fatalf("catalog has %d rows, want 34 (Table 1)", len(specs))
+	}
+	if _, err := FindWorkload("compress", "bigtest.in"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FindWorkload("no", "pe"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestProfileAndClassify(t *testing.T) {
+	spec, err := FindWorkload("li", "ref.lsp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := ProfileWorkload(spec, testScale)
+	if prof.Events() == 0 || prof.Sites() == 0 {
+		t.Fatal("empty profile")
+	}
+	classes := Classify(prof.Profiles())
+	if len(classes) != prof.Sites() {
+		t.Fatal("classes/sites mismatch")
+	}
+	for _, jc := range classes {
+		if !jc.Taken.Valid() || !jc.Transition.Valid() {
+			t.Fatalf("invalid class %v", jc)
+		}
+	}
+}
+
+func TestRunPredictorFacade(t *testing.T) {
+	spec, err := FindWorkload("gcc", "jump.i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses, events := RunPredictor(NewPAs(4), spec, testScale)
+	if events == 0 || misses < 0 || misses > events {
+		t.Fatalf("misses=%d events=%d", misses, events)
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	ctx := NewExperimentContext(SimConfig{Scale: 0.0005, Workers: 2})
+	var buf bytes.Buffer
+	if err := RunExperiment(ctx, "F1", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "taken rate class") {
+		t.Fatalf("unexpected F1 output:\n%s", buf.String())
+	}
+	if _, err := FindExperiment("T2"); err != nil {
+		t.Fatal(err)
+	}
+	if len(Experiments()) < 20 {
+		t.Fatal("experiment catalog too small")
+	}
+	if err := RunExperiment(ctx, "nope", &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestCustomWorkloadSpec(t *testing.T) {
+	spec := NewWorkloadSpec("custom", "unit.test", 500, 3,
+		func(tr *WorkloadTracer, r *Rand, target int64) {
+			for tr.N() < target {
+				tr.B(1, true)
+				tr.B(2, r.Bool(0.5))
+			}
+		})
+	prof := ProfileWorkload(spec, 1.0)
+	if prof.Sites() != 2 {
+		t.Fatalf("sites %d", prof.Sites())
+	}
+	if prof.Events() < 500 {
+		t.Fatalf("events %d", prof.Events())
+	}
+	jc := ClassOfProfile(prof.Profile(spec.PCBase() + 1<<2))
+	if jc.Taken != 10 || jc.Transition != 0 {
+		t.Fatalf("guard classified %s", jc)
+	}
+	// Custom specs work with the whole pipeline.
+	res := RunInput(spec, SimConfig{Scale: 1.0})
+	if res.Exec.Total() != res.Events {
+		t.Fatal("attribution mismatch for custom spec")
+	}
+}
+
+func TestDynamicClassHybridFacade(t *testing.T) {
+	spec, err := FindWorkload("ijpeg", "specmun.ppm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses, events := RunPredictor(NewDynamicClassHybrid(12, 64), spec, testScale)
+	if events == 0 {
+		t.Fatal("no events")
+	}
+	rate := float64(misses) / float64(events)
+	if rate <= 0 || rate > 0.5 {
+		t.Fatalf("dynamic hybrid miss rate %.3f implausible", rate)
+	}
+}
+
+// TestPaperShapeIntegration checks the headline qualitative results of the
+// paper against a moderate-scale suite run — the fidelity targets from
+// DESIGN.md. This is the repository's primary integration test.
+func TestPaperShapeIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test; run without -short")
+	}
+	ctx := NewExperimentContext(SimConfig{Scale: 0.01})
+	suite := ctx.Suite()
+
+	// 1. Mass concentrates at the taken edges and low transition classes.
+	cov := ComputeCoverage(&suite.Distribution)
+	if cov.TakenEasy < 0.35 {
+		t.Errorf("taken{0,10} coverage %.3f; paper 0.629", cov.TakenEasy)
+	}
+	if cov.TransitionEasyGAs <= cov.TakenEasy {
+		t.Errorf("transition coverage %.3f must exceed taken %.3f",
+			cov.TransitionEasyGAs, cov.TakenEasy)
+	}
+	if cov.MissedPAs < 0.01 {
+		t.Errorf("misclassified mass %.4f too small; paper 0.093", cov.MissedPAs)
+	}
+
+	// 2. Figure 3/4 shape: edge classes predict far better than class 5.
+	for _, kind := range []PredictorKind{PAs, GAs} {
+		_, rates := suite.OptimalHistoryTaken(kind)
+		if !(rates[0] < rates[5] && rates[10] < rates[5]) {
+			t.Errorf("%v taken classes: edges %.3f/%.3f not better than middle %.3f",
+				kind, rates[0], rates[10], rates[5])
+		}
+		_, trRates := suite.OptimalHistoryTransition(kind)
+		if !(trRates[0] < trRates[5]) {
+			t.Errorf("%v transition class 0 (%.3f) not better than class 5 (%.3f)",
+				kind, trRates[0], trRates[5])
+		}
+	}
+
+	// 3. Figure 10 shape: PAs on transition class 10 is pathological at
+	// k=0 and near perfect with short history.
+	curve := suite.HistoryCurveTransition(PAs, 10)
+	if curve[0] < 0.5 {
+		t.Errorf("PAs k=0 on transition class 10 misses %.3f, want >= 0.5", curve[0])
+	}
+	if curve[2] > 0.2 {
+		t.Errorf("PAs k=2 on transition class 10 misses %.3f, want small", curve[2])
+	}
+
+	// 4. Figures 13/14: the 5/5 cell is the worst or near-worst cell.
+	rates, _ := suite.OptimalJoint(PAs)
+	if suite.Exec[5][5] > 0 {
+		hard := rates[5][5]
+		if hard < 0.2 {
+			t.Errorf("5/5 cell miss rate %.3f, paper has ~0.45", hard)
+		}
+		// compare against the easy corners
+		if rates[0][0] > hard || rates[10][0] > hard {
+			t.Errorf("easy corners (%.3f, %.3f) predict worse than 5/5 (%.3f)",
+				rates[0][0], rates[10][0], hard)
+		}
+	}
+
+	// 5. Feasibility arc: high-transition rows are empty at extreme taken
+	// classes (transition rate <= 2*min(p,1-p) bound).
+	d := &suite.Distribution
+	if f := d.Fraction(0, 10) + d.Fraction(10, 10) + d.Fraction(0, 9) + d.Fraction(10, 9); f > 0.001 {
+		t.Errorf("infeasible joint corners hold %.4f of mass", f)
+	}
+}
+
+// TestHybridEndToEnd verifies the §5.4 story through the public API: the
+// transition hybrid must beat the plain bimodal table and not trail the
+// big monolithic predictors by much, at a fraction of their state.
+func TestHybridEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test; run without -short")
+	}
+	spec, err := FindWorkload("li", "ref.lsp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const scale = 0.01
+	prof := ProfileWorkload(spec, scale)
+	classes := Classify(prof.Profiles())
+
+	hybridMiss, events := RunPredictor(NewTransitionHybrid(classes, prof.Profiles()), spec, scale)
+	bimodalMiss, _ := RunPredictor(NewBimodal(17), spec, scale)
+	gshareMiss, _ := RunPredictor(NewGShare(17, 12), spec, scale)
+
+	hybrid := float64(hybridMiss) / float64(events)
+	bimodal := float64(bimodalMiss) / float64(events)
+	gshare := float64(gshareMiss) / float64(events)
+
+	if hybrid > bimodal {
+		t.Errorf("hybrid (%.4f) worse than bimodal (%.4f)", hybrid, bimodal)
+	}
+	if hybrid > gshare*1.25+0.02 {
+		t.Errorf("hybrid (%.4f) trails gshare (%.4f) badly", hybrid, gshare)
+	}
+}

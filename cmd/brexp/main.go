@@ -1,0 +1,86 @@
+// Command brexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	brexp [-scale 1.0] [-workers N] [-out results] [-run all|T1,F13,...]
+//
+// Each experiment is written to <out>/<id>.txt; -list shows the catalog.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"btr"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "workload scale; 1.0 = Table 1 counts /1000")
+	workers := flag.Int("workers", 0, "parallel inputs (0 = GOMAXPROCS)")
+	out := flag.String("out", "results", "output directory")
+	run := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+	list := flag.Bool("list", false, "list experiments and exit")
+	stdout := flag.Bool("stdout", false, "also echo each report to stdout")
+	flag.Parse()
+
+	if *list {
+		for _, e := range btr.Experiments() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+
+	var ids []string
+	if *run == "all" {
+		for _, e := range btr.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	ctx := btr.NewExperimentContext(btr.SimConfig{Scale: *scale, Workers: *workers})
+	start := time.Now()
+	for _, id := range ids {
+		path := filepath.Join(*out, id+".txt")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		expStart := time.Now()
+		err = btr.RunExperiment(ctx, id, f)
+		cerr := f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("experiment %s: %w", id, err))
+		}
+		if cerr != nil {
+			fatal(cerr)
+		}
+		fmt.Printf("%-4s -> %s (%.1fs)\n", id, path, time.Since(expStart).Seconds())
+		if *stdout {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(data))
+		}
+	}
+	fmt.Printf("done: %d experiments, %d dynamic branches, %.1fs total\n",
+		len(ids), ctx.Suite().TotalEvents(), time.Since(start).Seconds())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "brexp:", err)
+	os.Exit(1)
+}

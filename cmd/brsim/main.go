@@ -1,0 +1,126 @@
+// Command brsim runs one predictor configuration over a workload or a
+// stored trace and reports its miss rate — the sim-bpred analogue.
+//
+// Usage:
+//
+//	brsim -bench vortex -input vortex.lit -pred pas -k 8 [-scale 0.1]
+//	brsim -trace foo.btr -pred gshare -k 12
+//
+// Predictors: pas, gas, gag, pag, gshare, bimodal, lasttime, taken,
+// tournament, agree, bimode, yags, filter, gskew, dynhybrid,
+// transhybrid, takenhybrid (the profile-guided hybrids profile first).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"btr"
+	"btr/internal/bpred"
+	"btr/internal/sim"
+	"btr/internal/trace"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name")
+	input := flag.String("input", "", "input set name")
+	scale := flag.Float64("scale", 0.1, "workload scale")
+	tracePath := flag.String("trace", "", "BTR1 trace file instead of a workload")
+	pred := flag.String("pred", "pas", "predictor kind")
+	k := flag.Int("k", 8, "history length")
+	flag.Parse()
+
+	var spec btr.WorkloadSpec
+	var haveSpec bool
+	if *bench != "" && *input != "" {
+		s, err := btr.FindWorkload(*bench, *input)
+		if err != nil {
+			fatal(err)
+		}
+		spec, haveSpec = s, true
+	}
+
+	p, err := buildPredictor(*pred, *k, spec, haveSpec, *scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	var res bpred.Result
+	switch {
+	case *tracePath != "":
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			fatal(err)
+		}
+		res, err = bpred.Run(p, r)
+		if err != nil {
+			fatal(err)
+		}
+	case haveSpec:
+		misses, events := btr.RunPredictor(p, spec, *scale)
+		res = bpred.Result{Name: p.Name(), Misses: misses, Events: events}
+	default:
+		fatal(fmt.Errorf("need either -trace or -bench/-input"))
+	}
+
+	fmt.Printf("predictor=%s events=%d misses=%d missrate=%.4f accuracy=%.2f%% state=%d bits\n",
+		p.Name(), res.Events, res.Misses, res.MissRate(), 100*(1-res.MissRate()), p.SizeBits())
+}
+
+func buildPredictor(kind string, k int, spec btr.WorkloadSpec, haveSpec bool, scale float64) (btr.Predictor, error) {
+	switch kind {
+	case "pas":
+		return bpred.NewPAs(k), nil
+	case "gas":
+		return bpred.NewGAs(k), nil
+	case "gag":
+		return bpred.NewGAg(k), nil
+	case "pag":
+		return bpred.NewPAg(k, 12), nil
+	case "gshare":
+		return bpred.NewGShare(bpred.GAsPHTBits, k), nil
+	case "bimodal":
+		return bpred.NewBimodal(bpred.GAsPHTBits), nil
+	case "lasttime":
+		return bpred.NewLastTime(bpred.GAsPHTBits), nil
+	case "taken":
+		return bpred.NewAlwaysTaken(), nil
+	case "agree":
+		return bpred.NewAgree(bpred.GAsPHTBits, k, 14), nil
+	case "tournament":
+		return bpred.NewTournament("Tournament(PAs,gshare)",
+			bpred.NewPAs(k), bpred.NewGShare(16, k), 12), nil
+	case "bimode":
+		return bpred.NewBiMode(16, 15, k), nil
+	case "yags":
+		return bpred.NewYAGS(16, 14, 8, k), nil
+	case "filter":
+		return bpred.NewFilter(14, 32, bpred.NewGShare(16, k)), nil
+	case "gskew":
+		return bpred.NewGSkew(16, k), nil
+	case "dynhybrid":
+		return bpred.NewDynamicClassHybrid(13, 64, bpred.HybridComponents{}), nil
+	case "transhybrid", "takenhybrid":
+		if !haveSpec {
+			return nil, fmt.Errorf("%s needs -bench/-input (it profiles first)", kind)
+		}
+		profiler, classes := sim.ProfileInput(spec, scale)
+		if kind == "transhybrid" {
+			return bpred.NewTransitionHybrid(classes, profiler.Profiles(), bpred.HybridComponents{}), nil
+		}
+		return bpred.NewTakenHybrid(classes, profiler.Profiles(), bpred.HybridComponents{}), nil
+	default:
+		return nil, fmt.Errorf("unknown predictor %q", kind)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "brsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+// Command brtrace generates, inspects and converts branch traces.
+//
+// Usage:
+//
+//	brtrace -list                                    # list workloads
+//	brtrace -bench gcc -input expr.i -o expr.btr     # record a trace
+//	brtrace -info expr.btr                           # summarise a trace
+//	brtrace -text expr.btr                           # dump as text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"btr"
+	"btr/internal/trace"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list benchmark/input specs and exit")
+	bench := flag.String("bench", "", "benchmark name")
+	input := flag.String("input", "", "input set name")
+	scale := flag.Float64("scale", 0.1, "workload scale")
+	out := flag.String("o", "", "output trace file (BTR1 binary)")
+	info := flag.String("info", "", "summarise an existing trace file")
+	text := flag.String("text", "", "dump an existing trace file as text")
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Printf("%-10s %-18s %s\n", "benchmark", "input", "target@scale1.0")
+		for _, s := range btr.Workloads() {
+			fmt.Printf("%-10s %-18s %d\n", s.Bench, s.Input, s.Target)
+		}
+	case *info != "":
+		f, err := os.Open(*info)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			fatal(err)
+		}
+		sink := trace.NewStatsSink()
+		if _, err := trace.Copy(sink, r); err != nil {
+			fatal(err)
+		}
+		fmt.Println(sink.Stats())
+	case *text != "":
+		f, err := os.Open(*text)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := trace.WriteText(os.Stdout, r); err != nil {
+			fatal(err)
+		}
+	case *bench != "" && *input != "" && *out != "":
+		spec, err := btr.FindWorkload(*bench, *input)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		w, err := trace.NewWriter(f)
+		if err != nil {
+			fatal(err)
+		}
+		n := spec.Run(w, *scale)
+		if err := w.Close(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d events to %s\n", n, *out)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "brtrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+// Classify: walk through the paper's §4.2 argument on one workload —
+// taken-rate classification misses branches that transition-rate
+// classification catches.
+//
+// The demonstration: find branches whose taken rate is moderate (so Chang
+// et al. would call them hard and give them long-history predictor slots)
+// but whose transition rate is extreme (so a static or 1-2-bit predictor
+// handles them), then verify a short-history predictor really does predict
+// them well.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"btr"
+)
+
+func main() {
+	spec, err := btr.FindWorkload("ijpeg", "vigo.ppm")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const scale = 0.05
+	prof := btr.ProfileWorkload(spec, scale)
+
+	// Misclassified branches: moderate taken rate, extreme transition rate.
+	type victim struct {
+		pc    uint64
+		p     *btr.Profile
+		joint btr.JointClass
+	}
+	var victims []victim
+	for pc, p := range prof.Profiles() {
+		jc := btr.ClassOfProfile(p)
+		takenExtreme := jc.Taken == 0 || jc.Taken == 10
+		transExtreme := jc.Transition <= 1 || jc.Transition >= 9
+		if !takenExtreme && transExtreme {
+			victims = append(victims, victim{pc, p, jc})
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].p.Execs > victims[j].p.Execs })
+
+	var victimExecs, total int64
+	for _, v := range victims {
+		victimExecs += v.p.Execs
+	}
+	total = prof.Events()
+	fmt.Printf("%s: %d/%d dynamic branches (%.1f%%) are misclassified as hard by taken rate\n\n",
+		spec.Name(), victimExecs, total, 100*float64(victimExecs)/float64(total))
+
+	fmt.Println("hottest misclassified branches:")
+	for i, v := range victims {
+		if i >= 8 {
+			break
+		}
+		fmt.Printf("  pc=%#x execs=%-8d taken=%.2f trans=%.2f joint=%s\n",
+			v.pc, v.p.Execs, v.p.TakenRate(), v.p.TransitionRate(), v.joint)
+	}
+
+	// Show the payoff: a 2-bit-history PAs already nails these branches.
+	// Track per-branch misses for the victims under PAs(2) vs PAs(0).
+	for _, k := range []int{0, 2} {
+		p := btr.NewPAs(k)
+		var victimMisses, victimEvents int64
+		isVictim := make(map[uint64]bool, len(victims))
+		for _, v := range victims {
+			isVictim[v.pc] = true
+		}
+		sink := countingSink{p: p, isVictim: isVictim,
+			misses: &victimMisses, events: &victimEvents}
+		spec.Run(sink, scale)
+		fmt.Printf("\nPAs(k=%d) on misclassified branches: miss rate %.4f (%d/%d)",
+			k, rate(victimMisses, victimEvents), victimMisses, victimEvents)
+	}
+	fmt.Println()
+}
+
+type countingSink struct {
+	p        btr.Predictor
+	isVictim map[uint64]bool
+	misses   *int64
+	events   *int64
+}
+
+func (c countingSink) Branch(pc uint64, taken bool) {
+	predicted := c.p.Predict(pc)
+	c.p.Update(pc, taken)
+	if c.isVictim[pc] {
+		*c.events++
+		if predicted != taken {
+			*c.misses++
+		}
+	}
+}
+
+func rate(m, e int64) float64 {
+	if e == 0 {
+		return 0
+	}
+	return float64(m) / float64(e)
+}

@@ -1,0 +1,50 @@
+// Hybrid: build the paper's §5.4 classification-guided hybrid predictor
+// and race it against the Chang-style taken-rate hybrid and monolithic
+// predictors on a hard workload.
+//
+// The transition hybrid steers each static branch by its profiled joint
+// class: transition classes 0-1 go to a profile-bias static predictor,
+// the alternating classes 9-10 go to a short per-address history, and
+// everything else gets the long-history component. Keeping the easy
+// branches out of the pattern history tables is also what removes
+// interference.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"btr"
+)
+
+func main() {
+	const scale = 0.05
+	for _, name := range [][2]string{
+		{"vortex", "vortex.lit"},
+		{"li", "ref.lsp"},
+		{"gcc", "expr.i"},
+	} {
+		spec, err := btr.FindWorkload(name[0], name[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		prof := btr.ProfileWorkload(spec, scale)
+		classes := btr.Classify(prof.Profiles())
+
+		predictors := []btr.Predictor{
+			btr.NewTransitionHybrid(classes, prof.Profiles()),
+			btr.NewTakenHybrid(classes, prof.Profiles()),
+			btr.NewGShare(17, 12),
+			btr.NewPAs(8),
+			btr.NewGAs(10),
+			btr.NewBimodal(17),
+		}
+		fmt.Printf("%s (%d dynamic branches)\n", spec.Name(), prof.Events())
+		for _, p := range predictors {
+			misses, events := btr.RunPredictor(p, spec, scale)
+			fmt.Printf("  %-28s miss=%.4f  state=%7d bits\n",
+				p.Name(), float64(misses)/float64(events), p.SizeBits())
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,52 @@
+// Quickstart: profile a workload, classify its branches by taken and
+// transition rate, and compare the paper's PAs and GAs predictors on it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"btr"
+)
+
+func main() {
+	// Pick one Table 1 row: the LZW compressor with its big input.
+	spec, err := btr.FindWorkload("compress", "bigtest.in")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pass 1: profile. Scale 0.05 runs ~5% of the registry's default
+	// dynamic branch count — plenty for rates to converge.
+	const scale = 0.05
+	prof := btr.ProfileWorkload(spec, scale)
+	fmt.Printf("%s: %d dynamic branches over %d static sites\n\n",
+		spec.Name(), prof.Events(), prof.Sites())
+
+	// Classify each branch: taken-rate class and transition-rate class.
+	classes := btr.Classify(prof.Profiles())
+	var static, shortLocal, long, hard int
+	for _, jc := range classes {
+		switch btr.Advise(jc) {
+		case btr.AdviseStatic:
+			static++
+		case btr.AdviseShortLocal:
+			shortLocal++
+		case btr.AdviseNonPredictive:
+			hard++
+		default:
+			long++
+		}
+	}
+	fmt.Printf("static sites by advice: static=%d short-local=%d long-history=%d hard(5/5)=%d\n\n",
+		static, shortLocal, long, hard)
+
+	// Pass 2: run the paper's 32 KB two-level predictors at a few history
+	// lengths and see the classification at work.
+	for _, k := range []int{0, 2, 8, 12} {
+		pasMiss, events := btr.RunPredictor(btr.NewPAs(k), spec, scale)
+		gasMiss, _ := btr.RunPredictor(btr.NewGAs(k), spec, scale)
+		fmt.Printf("k=%-2d  PAs miss=%.4f  GAs miss=%.4f  (events=%d)\n",
+			k, float64(pasMiss)/float64(events), float64(gasMiss)/float64(events), events)
+	}
+}

@@ -1,0 +1,77 @@
+// Package bpred implements the branch predictors the paper simulates and
+// compares against: the two-level adaptive PAs and GAs configurations with
+// the paper's exact 32 KB hardware budget (§3), plus the baseline and
+// hybrid predictors its related-work and §5 discussion reference (static,
+// last-time, bimodal, GAg/PAg, gshare, agree, McFarling tournament, and
+// classification-guided hybrids).
+//
+// All predictors are deterministic and allocate their tables up front, so
+// a predictor's behaviour is a pure function of the branch event stream.
+package bpred
+
+// Counter2 is a 2-bit saturating counter in 0..3. Values 2 and 3 predict
+// taken. The weakly-not-taken initial value 1 matches sim-bpred's default.
+type Counter2 uint8
+
+// Predict reports the counter's current direction prediction.
+func (c Counter2) Predict() bool { return c >= 2 }
+
+// Update returns the counter trained toward the outcome, saturating at 0
+// and 3.
+func (c Counter2) Update(taken bool) Counter2 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return 3
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return 0
+}
+
+// CounterTable is a power-of-two array of 2-bit counters.
+type CounterTable struct {
+	counters []Counter2
+	mask     uint64
+}
+
+// NewCounterTable allocates a table with 2^bits counters, all initialised
+// weakly not-taken.
+func NewCounterTable(bits int) *CounterTable {
+	if bits < 0 || bits > 30 {
+		panic("bpred: counter table bits out of range")
+	}
+	n := 1 << bits
+	t := &CounterTable{
+		counters: make([]Counter2, n),
+		mask:     uint64(n - 1),
+	}
+	for i := range t.counters {
+		t.counters[i] = 1
+	}
+	return t
+}
+
+// Len returns the number of counters.
+func (t *CounterTable) Len() int { return len(t.counters) }
+
+// SizeBits returns the storage cost in bits (2 per counter).
+func (t *CounterTable) SizeBits() int64 { return int64(len(t.counters)) * 2 }
+
+// Predict returns the direction predicted at index.
+func (t *CounterTable) Predict(index uint64) bool {
+	return t.counters[index&t.mask].Predict()
+}
+
+// Update trains the counter at index toward the outcome.
+func (t *CounterTable) Update(index uint64, taken bool) {
+	i := index & t.mask
+	t.counters[i] = t.counters[i].Update(taken)
+}
+
+// Counter returns the raw counter value at index (for tests/inspection).
+func (t *CounterTable) Counter(index uint64) Counter2 {
+	return t.counters[index&t.mask]
+}

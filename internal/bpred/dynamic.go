@@ -1,0 +1,131 @@
+package bpred
+
+import (
+	"btr/internal/core"
+)
+
+// DynamicClassHybrid implements the paper's §6 future-work proposal:
+// "It may also be possible to perform classification based on transition
+// rate using some form of dynamic counter." Instead of a profiling pass,
+// a per-branch monitor table accumulates taken and transition counts over
+// a sliding window of executions; once the window fills, the branch is
+// classified with the same (taken, transition) policy the static hybrid
+// uses, and re-classified every window thereafter so phase changes are
+// tracked.
+//
+// Branches route to the long-history component until first classified
+// (the safe default: it handles everything, just with more warmup and
+// interference).
+type DynamicClassHybrid struct {
+	window  uint16
+	entries []dynEntry
+	mask    uint64
+	biasTbl Predictor
+	short   Predictor
+	long    Predictor
+}
+
+type dynEntry struct {
+	execs  uint16
+	taken  uint16
+	trans  uint16
+	last   bool
+	primed bool
+
+	classified bool
+	advice     core.Advice
+}
+
+// NewDynamicClassHybrid builds the dynamic hybrid with 2^tableBits monitor
+// entries and the given classification window (executions per decision;
+// 64 is a good default). Nil components get the same defaults as
+// ClassHybrid.
+func NewDynamicClassHybrid(tableBits int, window uint16, comp HybridComponents) *DynamicClassHybrid {
+	if window == 0 {
+		window = 64
+	}
+	comp = comp.withDefaults()
+	return &DynamicClassHybrid{
+		window:  window,
+		entries: make([]dynEntry, 1<<uint(tableBits)),
+		mask:    (1 << uint(tableBits)) - 1,
+		biasTbl: comp.BiasTable,
+		short:   comp.Short,
+		long:    comp.Long,
+	}
+}
+
+// Name implements Predictor.
+func (d *DynamicClassHybrid) Name() string { return "DynamicClassHybrid" }
+
+func (d *DynamicClassHybrid) entry(pc uint64) *dynEntry {
+	return &d.entries[pcIndex(pc)&d.mask]
+}
+
+func (d *DynamicClassHybrid) component(e *dynEntry) Predictor {
+	if !e.classified {
+		return d.long
+	}
+	switch e.advice {
+	case core.AdviseStatic:
+		return d.biasTbl
+	case core.AdviseShortLocal:
+		return d.short
+	default:
+		return d.long
+	}
+}
+
+// Predict implements Predictor.
+func (d *DynamicClassHybrid) Predict(pc uint64) bool {
+	return d.component(d.entry(pc)).Predict(pc)
+}
+
+// Update implements Predictor: trains the owning component, accumulates
+// the monitor counters, and (re)classifies at window boundaries.
+func (d *DynamicClassHybrid) Update(pc uint64, taken bool) {
+	e := d.entry(pc)
+	d.component(e).Update(pc, taken)
+
+	e.execs++
+	if taken {
+		e.taken++
+	}
+	if e.primed && taken != e.last {
+		e.trans++
+	}
+	e.last = taken
+	e.primed = true
+
+	if e.execs >= d.window {
+		takenRate := float64(e.taken) / float64(e.execs)
+		transRate := float64(e.trans) / float64(e.execs-1)
+		jc := core.JointClass{
+			Taken:      core.ClassOf(takenRate),
+			Transition: core.ClassOf(transRate),
+		}
+		e.advice = core.Advise(jc)
+		e.classified = true
+		e.execs, e.taken, e.trans = 0, 0, 0
+		e.primed = false
+	}
+}
+
+// SizeBits implements Predictor: component state plus the monitor table
+// (three window counters, last/primed/classified flags, 2-bit advice per
+// entry).
+func (d *DynamicClassHybrid) SizeBits() int64 {
+	perEntry := int64(3*16 + 3 + 2)
+	return d.biasTbl.SizeBits() + d.short.SizeBits() + d.long.SizeBits() +
+		int64(len(d.entries))*perEntry
+}
+
+// AdviceFor exposes the current dynamic classification of a branch, for
+// inspection ("unclassified" during the first window).
+func (d *DynamicClassHybrid) AdviceFor(pc uint64) string {
+	e := d.entry(pc)
+	if !e.classified {
+		return "unclassified"
+	}
+	return e.advice.String()
+}

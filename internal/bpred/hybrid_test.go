@@ -1,0 +1,170 @@
+package bpred
+
+import (
+	"testing"
+
+	"btr/internal/core"
+)
+
+// buildTestProfiles fabricates three branch populations: an always-taken
+// guard, a strict alternator, and a near-random compare.
+func buildTestProfiles() (map[uint64]*core.Profile, core.ClassMap) {
+	profiles := make(map[uint64]*core.Profile)
+
+	guard := &core.Profile{}
+	for i := 0; i < 1000; i++ {
+		guard.Observe(true)
+	}
+	profiles[0x1000] = guard
+
+	alt := &core.Profile{}
+	for i := 0; i < 1000; i++ {
+		alt.Observe(i%2 == 0)
+	}
+	profiles[0x2000] = alt
+
+	rnd := &core.Profile{}
+	s := uint64(12345)
+	for i := 0; i < 1000; i++ {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		rnd.Observe(s%2 == 0)
+	}
+	profiles[0x3000] = rnd
+
+	return profiles, core.Classify(profiles)
+}
+
+func TestTransitionHybridSteering(t *testing.T) {
+	profiles, classes := buildTestProfiles()
+	h := NewTransitionHybrid(classes, profiles, HybridComponents{})
+	if got := h.ComponentFor(0x1000); got != "static" {
+		t.Fatalf("guard steered to %s", got)
+	}
+	if got := h.ComponentFor(0x2000); got != "short-local" {
+		t.Fatalf("alternator steered to %s", got)
+	}
+	if got := h.ComponentFor(0x3000); got != "long-history" {
+		t.Fatalf("random steered to %s", got)
+	}
+	if got := h.ComponentFor(0xdead); got != "long-history" {
+		t.Fatalf("unprofiled steered to %s", got)
+	}
+	if h.Name() != "TransitionHybrid" {
+		t.Fatal("name")
+	}
+}
+
+func TestTakenHybridSteering(t *testing.T) {
+	profiles, classes := buildTestProfiles()
+	h := NewTakenHybrid(classes, profiles, HybridComponents{})
+	if got := h.ComponentFor(0x1000); got != "static" {
+		t.Fatalf("guard steered to %s", got)
+	}
+	// The taken-rate hybrid misses the alternator: taken rate 0.5.
+	if got := h.ComponentFor(0x2000); got != "long-history" {
+		t.Fatalf("alternator steered to %s (taken-rate scheme cannot see it)", got)
+	}
+}
+
+func TestHybridPredictsGuardStatically(t *testing.T) {
+	profiles, classes := buildTestProfiles()
+	h := NewTransitionHybrid(classes, profiles, HybridComponents{})
+	// The static component must predict the guard right from the first
+	// dynamic execution — no warmup at all.
+	misses := 0
+	for i := 0; i < 100; i++ {
+		if h.Predict(0x1000) != true {
+			misses++
+		}
+		h.Update(0x1000, true)
+	}
+	if misses != 0 {
+		t.Fatalf("profiled guard missed %d times under the hybrid", misses)
+	}
+}
+
+func TestHybridAlternatorFastWarmup(t *testing.T) {
+	profiles, classes := buildTestProfiles()
+	h := NewTransitionHybrid(classes, profiles, HybridComponents{})
+	misses := 0
+	for i := 0; i < 1000; i++ {
+		taken := i%2 == 0
+		if i >= 64 && h.Predict(0x2000) != taken {
+			misses++
+		}
+		h.Update(0x2000, taken)
+	}
+	if misses > 0 {
+		t.Fatalf("alternator missed %d times after warmup", misses)
+	}
+}
+
+func TestHybridBeatsTakenHybridOnMisclassified(t *testing.T) {
+	// A block-pattern branch (long runs, ~50% taken, low transition):
+	// transition classification sends it to the static component (right),
+	// taken classification sends it to the long-history table (slower).
+	block := &core.Profile{}
+	outcomes := make([]bool, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		taken := (i/200)%2 == 0 // runs of 200
+		outcomes = append(outcomes, taken)
+		block.Observe(taken)
+	}
+	profiles := map[uint64]*core.Profile{0x5000: block}
+	classes := core.Classify(profiles)
+	if classes[0x5000].Transition > 1 {
+		t.Fatalf("block branch transition class %d, expected <= 1", classes[0x5000].Transition)
+	}
+
+	trans := NewTransitionHybrid(classes, profiles, HybridComponents{})
+	taken := NewTakenHybrid(classes, profiles, HybridComponents{})
+	if got := trans.ComponentFor(0x5000); got != "bias-table" {
+		t.Fatalf("block branch steered to %s, want bias-table", got)
+	}
+	if got := taken.ComponentFor(0x5000); got != "long-history" {
+		t.Fatalf("taken hybrid steered block branch to %s", got)
+	}
+	var transMiss, takenMiss int
+	for _, o := range outcomes {
+		if trans.Predict(0x5000) != o {
+			transMiss++
+		}
+		trans.Update(0x5000, o)
+		if taken.Predict(0x5000) != o {
+			takenMiss++
+		}
+		taken.Update(0x5000, o)
+	}
+	// The bias table misses ~2 per run boundary (2-bit hysteresis), about
+	// the same as a long-history table — but costs 1KB instead of 32KB
+	// and adds no PHT interference. It must be in the same miss ballpark.
+	if transMiss > takenMiss+len(outcomes)/20 {
+		t.Fatalf("transition hybrid %d misses vs taken hybrid %d", transMiss, takenMiss)
+	}
+}
+
+func TestHybridSizeExcludesStaticHints(t *testing.T) {
+	profiles, classes := buildTestProfiles()
+	h := NewTransitionHybrid(classes, profiles, HybridComponents{})
+	biasTbl := NewBimodal(12)
+	short := NewPAs(core.DefaultPolicy.ShortHistoryMax)
+	long := NewGShare(GAsPHTBits, core.DefaultPolicy.LongHistory)
+	if h.SizeBits() != biasTbl.SizeBits()+short.SizeBits()+long.SizeBits() {
+		t.Fatalf("hybrid size %d", h.SizeBits())
+	}
+}
+
+func TestHybridCustomComponents(t *testing.T) {
+	profiles, classes := buildTestProfiles()
+	h := NewTransitionHybrid(classes, profiles, HybridComponents{
+		BiasTable: NewLastTime(10),
+		Short:     NewPAs(1),
+		Long:      NewGAs(10),
+	})
+	want := NewLastTime(10).SizeBits() + NewPAs(1).SizeBits() + NewGAs(10).SizeBits()
+	if h.SizeBits() != want {
+		t.Fatal("custom components not used")
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// NumClasses is the number of rate classes (0 through 10), matching the
+// paper's 11-way binning for both taken rate and transition rate.
+const NumClasses = 11
+
+// Class is a rate class in 0..10.
+//
+// The paper's description ("11 equal classes ... 0-5%, 5-10%, 10-15%,
+// etc.", with class 10 = 95-100% and class 5 straddling 50%) only tiles
+// [0,1] with the symmetric binning
+//
+//	class 0:      [0.00, 0.05)
+//	class i=1..9: [0.05+(i-1)*0.10, 0.05+i*0.10)
+//	class 10:     [0.95, 1.00]
+//
+// i.e. 5%-wide end bins and 10%-wide middle bins, centred so that class 5
+// is [0.45, 0.55). That is the binning used throughout this repository.
+type Class int
+
+// ClassOf maps a rate in [0,1] to its class. Rates outside [0,1] are
+// clamped. Classification happens in rounded thousandths so that exact
+// rational boundaries (e.g. 3/20 = 15%) land in the class their
+// mathematical value belongs to, immune to float64 representation error.
+func ClassOf(rate float64) Class {
+	p := int(math.Round(rate * 1000)) // tenths of a percent
+	switch {
+	case p < 50:
+		return 0
+	case p >= 950:
+		return 10
+	default:
+		return Class(1 + (p-50)/100)
+	}
+}
+
+// Bounds returns the rate interval [lo, hi) covered by the class
+// (class 10's interval is closed: [0.95, 1.00]).
+func (c Class) Bounds() (lo, hi float64) {
+	switch {
+	case c <= 0:
+		return 0, 0.05
+	case c >= 10:
+		return 0.95, 1.0
+	default:
+		// Derived from integer percents so adjacent classes tile exactly.
+		return float64(10*int(c)-5) / 100, float64(10*int(c)+5) / 100
+	}
+}
+
+// Valid reports whether c is in 0..10.
+func (c Class) Valid() bool { return c >= 0 && c < NumClasses }
+
+// String renders the class with its percentage range, e.g. "5 [45-55%)".
+func (c Class) String() string {
+	lo, hi := c.Bounds()
+	return fmt.Sprintf("%d [%.0f-%.0f%%)", int(c), lo*100, hi*100)
+}
+
+// JointClass is a cell of the paper's Table 2: the pair of a branch's
+// taken-rate class and transition-rate class.
+type JointClass struct {
+	Taken      Class
+	Transition Class
+}
+
+// String renders "taken/transition", e.g. the hard-to-predict cell is "5/5".
+func (j JointClass) String() string {
+	return fmt.Sprintf("%d/%d", int(j.Taken), int(j.Transition))
+}
+
+// Hard reports whether the joint class is the paper's hard-to-predict
+// "5/5" cell: taken and transition rates both near 50%.
+func (j JointClass) Hard() bool { return j.Taken == 5 && j.Transition == 5 }
+
+// ClassOfProfile returns the joint class of a branch profile.
+func ClassOfProfile(p *Profile) JointClass {
+	return JointClass{
+		Taken:      ClassOf(p.TakenRate()),
+		Transition: ClassOf(p.TransitionRate()),
+	}
+}
+
+// ClassMap assigns each static branch (by PC) its joint class. It is the
+// product of a profiling pass and the input to class-attributed simulation.
+type ClassMap map[uint64]JointClass
+
+// Classify builds a ClassMap from per-branch profiles.
+func Classify(profiles map[uint64]*Profile) ClassMap {
+	m := make(ClassMap, len(profiles))
+	for pc, p := range profiles {
+		m[pc] = ClassOfProfile(p)
+	}
+	return m
+}
+
+// Lookup returns the joint class for pc and whether it is known.
+func (m ClassMap) Lookup(pc uint64) (JointClass, bool) {
+	jc, ok := m[pc]
+	return jc, ok
+}

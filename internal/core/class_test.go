@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassOfBoundaries(t *testing.T) {
+	cases := []struct {
+		rate float64
+		want Class
+	}{
+		{0.0, 0},
+		{0.049, 0},
+		{0.05, 1},
+		{0.149, 1},
+		{0.15, 2},
+		{0.45, 5},
+		{0.4999, 5},
+		{0.50, 5},
+		{0.549, 5},
+		{0.55, 6},
+		{0.85, 9},
+		{0.949, 9},
+		{0.95, 10},
+		{1.0, 10},
+		{-0.5, 0}, // clamped
+		{1.5, 10}, // clamped
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.rate); got != c.want {
+			t.Fatalf("ClassOf(%v) = %d, want %d", c.rate, got, c.want)
+		}
+	}
+}
+
+func TestClassBoundsTileUnitInterval(t *testing.T) {
+	prevHi := 0.0
+	for c := Class(0); c < NumClasses; c++ {
+		lo, hi := c.Bounds()
+		if lo != prevHi {
+			t.Fatalf("class %d starts at %v, previous ended at %v", c, lo, prevHi)
+		}
+		if hi <= lo {
+			t.Fatalf("class %d empty interval [%v,%v)", c, lo, hi)
+		}
+		prevHi = hi
+	}
+	if prevHi != 1.0 {
+		t.Fatalf("classes end at %v, want 1.0", prevHi)
+	}
+}
+
+func TestClassBoundsConsistentWithClassOf(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		lo, hi := c.Bounds()
+		if got := ClassOf(lo); got != c {
+			t.Fatalf("ClassOf(lo=%v) = %d, want %d", lo, got, c)
+		}
+		mid := (lo + hi) / 2
+		if got := ClassOf(mid); got != c {
+			t.Fatalf("ClassOf(mid=%v) = %d, want %d", mid, got, c)
+		}
+	}
+}
+
+func TestClassSymmetry(t *testing.T) {
+	// The binning is symmetric about 0.5: ClassOf(r) + ClassOf(1-r) == 10
+	// away from exact boundaries.
+	for _, r := range []float64{0.0, 0.01, 0.07, 0.2, 0.33, 0.42, 0.5 - 1e-9} {
+		a, b := ClassOf(r), ClassOf(1-r)
+		if int(a)+int(b) != 10 {
+			t.Fatalf("asymmetric: ClassOf(%v)=%d, ClassOf(%v)=%d", r, a, 1-r, b)
+		}
+	}
+}
+
+func TestClassStringAndValid(t *testing.T) {
+	if !(Class(0).Valid() && Class(10).Valid()) {
+		t.Fatal("0 and 10 must be valid")
+	}
+	if Class(-1).Valid() || Class(11).Valid() {
+		t.Fatal("out-of-range classes must be invalid")
+	}
+	if Class(5).String() == "" || (JointClass{5, 5}).String() != "5/5" {
+		t.Fatal("string rendering")
+	}
+}
+
+func TestJointClassHard(t *testing.T) {
+	if !(JointClass{Taken: 5, Transition: 5}).Hard() {
+		t.Fatal("5/5 must be hard")
+	}
+	if (JointClass{Taken: 5, Transition: 4}).Hard() || (JointClass{Taken: 0, Transition: 5}).Hard() {
+		t.Fatal("only 5/5 is hard")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	profiles := map[uint64]*Profile{}
+	always := &Profile{}
+	for i := 0; i < 100; i++ {
+		always.Observe(true)
+	}
+	alternating := &Profile{}
+	for i := 0; i < 100; i++ {
+		alternating.Observe(i%2 == 0)
+	}
+	profiles[0x10] = always
+	profiles[0x20] = alternating
+	m := Classify(profiles)
+	if jc, ok := m.Lookup(0x10); !ok || jc.Taken != 10 || jc.Transition != 0 {
+		t.Fatalf("always-taken classified %v", jc)
+	}
+	if jc, ok := m.Lookup(0x20); !ok || jc.Taken != 5 || jc.Transition != 10 {
+		t.Fatalf("alternator classified %v", jc)
+	}
+	if _, ok := m.Lookup(0x99); ok {
+		t.Fatal("unknown PC found")
+	}
+}
+
+func TestQuickClassOfInRange(t *testing.T) {
+	f := func(r float64) bool {
+		c := ClassOf(r)
+		return c >= 0 && c < NumClasses
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickClassOfMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		// restrict to [0,1]
+		if a < 0 {
+			a = -a
+		}
+		if b < 0 {
+			b = -b
+		}
+		if a > 1 {
+			a = 1 / a
+		}
+		if b > 1 {
+			b = 1 / b
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return ClassOf(a) <= ClassOf(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

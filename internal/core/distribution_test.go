@@ -1,0 +1,197 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func repeatProfile(taken, notTaken int, alternate bool) *Profile {
+	p := &Profile{}
+	if alternate {
+		n := taken + notTaken
+		for i := 0; i < n; i++ {
+			p.Observe(i%2 == 0)
+		}
+		return p
+	}
+	for i := 0; i < taken; i++ {
+		p.Observe(true)
+	}
+	for i := 0; i < notTaken; i++ {
+		p.Observe(false)
+	}
+	return p
+}
+
+func TestDistributionWeights(t *testing.T) {
+	var d Distribution
+	profiles := map[uint64]*Profile{
+		1: repeatProfile(900, 0, false), // taken 10, trans 0, weight 900
+		2: repeatProfile(0, 100, false), // taken 0, trans 0, weight 100
+	}
+	d.AddProfiles(profiles)
+	if d.Total != 1000 {
+		t.Fatalf("total %v", d.Total)
+	}
+	if got := d.Fraction(10, 0); got != 0.9 {
+		t.Fatalf("fraction(10,0)=%v", got)
+	}
+	if got := d.Fraction(0, 0); got != 0.1 {
+		t.Fatalf("fraction(0,0)=%v", got)
+	}
+	if d.StaticCount[10][0] != 1 || d.StaticCount[0][0] != 1 {
+		t.Fatal("static counts")
+	}
+}
+
+func TestDistributionMarginalsSumToOne(t *testing.T) {
+	var d Distribution
+	d.AddProfiles(map[uint64]*Profile{
+		1: repeatProfile(500, 500, true),
+		2: repeatProfile(100, 0, false),
+		3: repeatProfile(30, 70, false),
+	})
+	for _, marg := range [][NumClasses]float64{d.TakenMarginal(), d.TransitionMarginal()} {
+		var sum float64
+		for _, v := range marg {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("marginal sums to %v", sum)
+		}
+	}
+}
+
+func TestDistributionSkipsEmptyProfiles(t *testing.T) {
+	var d Distribution
+	d.AddProfiles(map[uint64]*Profile{1: {}})
+	if d.Total != 0 {
+		t.Fatal("empty profile contributed weight")
+	}
+}
+
+func TestEmptyDistribution(t *testing.T) {
+	var d Distribution
+	if d.Fraction(5, 5) != 0 {
+		t.Fatal("empty distribution fraction")
+	}
+	if d.CoverageTaken(0, 10) != 0 || d.CoverageTransition(0, 1) != 0 {
+		t.Fatal("empty distribution coverage")
+	}
+}
+
+func TestComputeCoverage(t *testing.T) {
+	var d Distribution
+	d.AddProfiles(map[uint64]*Profile{
+		// 600 executions of an always-taken branch: taken 10 / trans 0.
+		1: repeatProfile(600, 0, false),
+		// 200 of a block-pattern branch: taken 5 / trans 0 —
+		// the misclassified kind.
+		2: repeatProfile(100, 100, false),
+		// 200 of an alternator: taken 5 / trans 10.
+		3: repeatProfile(100, 100, true),
+	})
+	cov := ComputeCoverage(&d)
+	if math.Abs(cov.TakenEasy-0.6) > 1e-9 {
+		t.Fatalf("taken easy %v, want 0.6", cov.TakenEasy)
+	}
+	// transition {0,1} covers branch 1 and branch 2: 0.8
+	if math.Abs(cov.TransitionEasyGAs-0.8) > 1e-9 {
+		t.Fatalf("transition GAs %v, want 0.8", cov.TransitionEasyGAs)
+	}
+	// PAs adds the alternator: 1.0
+	if math.Abs(cov.TransitionEasyPAs-1.0) > 1e-9 {
+		t.Fatalf("transition PAs %v, want 1.0", cov.TransitionEasyPAs)
+	}
+	if math.Abs(cov.MissedGAs-0.2) > 1e-9 || math.Abs(cov.MissedPAs-0.4) > 1e-9 {
+		t.Fatalf("missed %v/%v", cov.MissedGAs, cov.MissedPAs)
+	}
+}
+
+func TestMisclassified(t *testing.T) {
+	cases := []struct {
+		jc   JointClass
+		pas  bool
+		want bool
+	}{
+		{JointClass{Taken: 5, Transition: 0}, false, true}, // block pattern
+		{JointClass{Taken: 5, Transition: 1}, false, true},
+		{JointClass{Taken: 0, Transition: 0}, false, false}, // already easy by taken
+		{JointClass{Taken: 10, Transition: 0}, false, false},
+		{JointClass{Taken: 5, Transition: 10}, true, true}, // alternator, PAs only
+		{JointClass{Taken: 5, Transition: 10}, false, false},
+		{JointClass{Taken: 5, Transition: 5}, true, false}, // genuinely hard
+		{JointClass{Taken: 3, Transition: 9}, true, true},
+	}
+	for _, c := range cases {
+		if got := Misclassified(c.jc, c.pas); got != c.want {
+			t.Fatalf("Misclassified(%s, pas=%v) = %v, want %v", c.jc, c.pas, got, c.want)
+		}
+	}
+}
+
+func TestMisclassifiedFractionMatchesCoverage(t *testing.T) {
+	// The misclassified mass must equal coverage delta, computed two
+	// independent ways (the S1 cross-check).
+	var d Distribution
+	d.AddProfiles(map[uint64]*Profile{
+		1: repeatProfile(600, 0, false),
+		2: repeatProfile(100, 100, false),
+		3: repeatProfile(100, 100, true),
+		4: repeatProfile(70, 30, false),
+	})
+	cov := ComputeCoverage(&d)
+	if got, want := d.MisclassifiedFraction(true), cov.MissedPAs; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("PAs misclassified %v != coverage delta %v", got, want)
+	}
+	if got, want := d.MisclassifiedFraction(false), cov.MissedGAs; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("GAs misclassified %v != coverage delta %v", got, want)
+	}
+}
+
+func TestAdvise(t *testing.T) {
+	cases := []struct {
+		jc   JointClass
+		want Advice
+	}{
+		{JointClass{Taken: 5, Transition: 5}, AdviseNonPredictive},
+		{JointClass{Taken: 10, Transition: 0}, AdviseStatic},
+		{JointClass{Taken: 5, Transition: 1}, AdviseStatic},
+		{JointClass{Taken: 5, Transition: 10}, AdviseShortLocal},
+		{JointClass{Taken: 4, Transition: 9}, AdviseShortLocal},
+		{JointClass{Taken: 5, Transition: 4}, AdviseLongHistory},
+		{JointClass{Taken: 7, Transition: 6}, AdviseLongHistory},
+	}
+	for _, c := range cases {
+		if got := Advise(c.jc); got != c.want {
+			t.Fatalf("Advise(%s) = %v, want %v", c.jc, got, c.want)
+		}
+	}
+}
+
+func TestHistoryPolicy(t *testing.T) {
+	p := HistoryPolicy{ShortHistoryMax: 2, LongHistory: 12}
+	if got := p.HistoryFor(JointClass{Taken: 10, Transition: 0}); got != 0 {
+		t.Fatalf("static history %d", got)
+	}
+	if got := p.HistoryFor(JointClass{Taken: 5, Transition: 10}); got != 2 {
+		t.Fatalf("short-local history %d", got)
+	}
+	if got := p.HistoryFor(JointClass{Taken: 6, Transition: 5}); got != 12 {
+		t.Fatalf("long history %d", got)
+	}
+	if got := p.HistoryFor(JointClass{Taken: 5, Transition: 5}); got != 12 {
+		t.Fatalf("non-predictive history %d", got)
+	}
+}
+
+func TestAdviceString(t *testing.T) {
+	for a := AdviseStatic; a <= AdviseNonPredictive; a++ {
+		if a.String() == "" || a.String() == "unknown" {
+			t.Fatalf("advice %d has bad string", a)
+		}
+	}
+	if Advice(99).String() != "unknown" {
+		t.Fatal("unknown advice string")
+	}
+}

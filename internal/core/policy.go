@@ -1,0 +1,86 @@
+package core
+
+// HistoryPolicy captures the paper's §5 design guidance: which predictor
+// resources a branch deserves, given its joint class. It is the bridge from
+// classification (this package) to hybrid predictor construction
+// (internal/bpred) — "the optimal history length for predicting a branch is
+// dependent upon its taken and transition rate class".
+type HistoryPolicy struct {
+	// ShortHistoryMax is the history length assigned to branches the
+	// classification identifies as cheap (static-like or alternating).
+	ShortHistoryMax int
+	// LongHistory is the history length assigned to everything else.
+	LongHistory int
+}
+
+// DefaultPolicy mirrors the paper's findings on the 32 KB configurations:
+// classes at the edges want 0-2 bits of history, middle classes want the
+// longest affordable history.
+var DefaultPolicy = HistoryPolicy{ShortHistoryMax: 2, LongHistory: 12}
+
+// Advice is the resource recommendation for one branch.
+type Advice int
+
+const (
+	// AdviseStatic marks branches predictable by a static or 1-2-bit
+	// counter predictor with no pattern history: transition classes 0-1
+	// (which subsume taken classes 0 and 10).
+	AdviseStatic Advice = iota
+	// AdviseShortLocal marks alternating branches (transition classes
+	// 9-10): a per-address predictor with 1-2 history bits is near
+	// perfect, while a zero-history predictor is pathological.
+	AdviseShortLocal
+	// AdviseLongHistory marks the remaining, genuinely history-hungry
+	// branches.
+	AdviseLongHistory
+	// AdviseNonPredictive marks the 5/5 cell: near-50% taken and
+	// transition rates, the paper's fundamental-limit branches, prime
+	// candidates for predication or dual path execution rather than
+	// prediction.
+	AdviseNonPredictive
+)
+
+// String names the advice.
+func (a Advice) String() string {
+	switch a {
+	case AdviseStatic:
+		return "static"
+	case AdviseShortLocal:
+		return "short-local"
+	case AdviseLongHistory:
+		return "long-history"
+	case AdviseNonPredictive:
+		return "non-predictive"
+	default:
+		return "unknown"
+	}
+}
+
+// Advise classifies a joint class into a resource recommendation per the
+// paper's analysis (§4.2-§5.2).
+func Advise(jc JointClass) Advice {
+	switch {
+	case jc.Hard():
+		return AdviseNonPredictive
+	case jc.Transition <= 1:
+		return AdviseStatic
+	case jc.Transition >= 9:
+		return AdviseShortLocal
+	default:
+		return AdviseLongHistory
+	}
+}
+
+// HistoryFor returns the history length the policy assigns to a joint
+// class (non-predictive branches still need a predictor while running on
+// conventional hardware; they get the long history).
+func (p HistoryPolicy) HistoryFor(jc JointClass) int {
+	switch Advise(jc) {
+	case AdviseStatic:
+		return 0
+	case AdviseShortLocal:
+		return p.ShortHistoryMax
+	default:
+		return p.LongHistory
+	}
+}

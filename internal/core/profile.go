@@ -1,0 +1,114 @@
+// Package core implements the paper's primary contribution: the branch
+// transition rate metric, the taken-rate metric it is compared against,
+// 11-way rate classification, the joint (taken, transition) classification
+// of Table 2, and the coverage/misclassification arithmetic of §4.2.
+//
+// The metrics are defined per static branch over its dynamic executions:
+//
+//   - taken rate: fraction of executions in which the branch was taken
+//     (Chang et al., MICRO 1994).
+//   - transition rate: how often the branch changed direction between
+//     consecutive executions. A branch executed n times has n-1 adjacent
+//     pairs; we report transitions/(n-1) so that a strictly alternating
+//     branch has transition rate exactly 1.0. (The paper divides by "a
+//     given number of executions"; for the execution counts involved the
+//     two denominators are indistinguishable, and n-1 makes the
+//     alternation bound exact.)
+package core
+
+import "btr/internal/trace"
+
+// Profile accumulates the dynamic behaviour of one static branch.
+type Profile struct {
+	Execs       int64 // dynamic executions
+	Taken       int64 // executions that were taken
+	Transitions int64 // direction changes between consecutive executions
+
+	last   bool // outcome of the previous execution
+	primed bool // true once at least one execution has been observed
+}
+
+// Observe records one dynamic execution.
+func (p *Profile) Observe(taken bool) {
+	p.Execs++
+	if taken {
+		p.Taken++
+	}
+	if p.primed && taken != p.last {
+		p.Transitions++
+	}
+	p.last = taken
+	p.primed = true
+}
+
+// TakenRate returns the fraction of executions that were taken,
+// or 0 if the branch never executed.
+func (p *Profile) TakenRate() float64 {
+	if p.Execs == 0 {
+		return 0
+	}
+	return float64(p.Taken) / float64(p.Execs)
+}
+
+// TransitionRate returns the fraction of consecutive execution pairs whose
+// outcomes differed, or 0 if the branch executed fewer than twice.
+func (p *Profile) TransitionRate() float64 {
+	if p.Execs < 2 {
+		return 0
+	}
+	return float64(p.Transitions) / float64(p.Execs-1)
+}
+
+// Merge folds other into p. Merging is only meaningful for profiles of the
+// same static branch from consecutive stream segments; the transition
+// between the two segments' boundary outcomes is not observable and is
+// conservatively not counted.
+func (p *Profile) Merge(other *Profile) {
+	if other.Execs == 0 {
+		return
+	}
+	p.Execs += other.Execs
+	p.Taken += other.Taken
+	p.Transitions += other.Transitions
+	p.last = other.last
+	p.primed = p.primed || other.primed
+}
+
+// Profiler builds per-branch profiles from a branch event stream.
+// It implements trace.Sink; feed it a full run, then call Profiles.
+type Profiler struct {
+	profiles map[uint64]*Profile
+	events   int64
+}
+
+// NewProfiler returns an empty Profiler.
+func NewProfiler() *Profiler {
+	return &Profiler{profiles: make(map[uint64]*Profile)}
+}
+
+var _ trace.Sink = (*Profiler)(nil)
+
+// Branch records one dynamic branch execution.
+func (pr *Profiler) Branch(pc uint64, taken bool) {
+	p := pr.profiles[pc]
+	if p == nil {
+		p = &Profile{}
+		pr.profiles[pc] = p
+	}
+	p.Observe(taken)
+	pr.events++
+}
+
+// Events returns the total number of dynamic executions observed.
+func (pr *Profiler) Events() int64 { return pr.events }
+
+// Sites returns the number of distinct static branches observed.
+func (pr *Profiler) Sites() int { return len(pr.profiles) }
+
+// Profiles returns the per-branch profiles keyed by PC. The map is the
+// profiler's own storage; callers must not mutate it while still feeding
+// events.
+func (pr *Profiler) Profiles() map[uint64]*Profile { return pr.profiles }
+
+// Profile returns the profile for pc, or nil if the branch never executed.
+func (pr *Profiler) Profile(pc uint64) *Profile { return pr.profiles[pc] }

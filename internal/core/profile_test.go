@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func observeAll(p *Profile, outcomes []bool) {
+	for _, o := range outcomes {
+		p.Observe(o)
+	}
+}
+
+func TestProfileCounts(t *testing.T) {
+	var p Profile
+	observeAll(&p, []bool{true, true, false, true, false})
+	if p.Execs != 5 || p.Taken != 3 {
+		t.Fatalf("execs=%d taken=%d", p.Execs, p.Taken)
+	}
+	// transitions: T->T no, T->F yes, F->T yes, T->F yes = 3
+	if p.Transitions != 3 {
+		t.Fatalf("transitions=%d, want 3", p.Transitions)
+	}
+	if got := p.TakenRate(); got != 0.6 {
+		t.Fatalf("taken rate %v", got)
+	}
+	if got := p.TransitionRate(); got != 0.75 {
+		t.Fatalf("transition rate %v, want 3/4", got)
+	}
+}
+
+func TestProfileEdgeCases(t *testing.T) {
+	var p Profile
+	if p.TakenRate() != 0 || p.TransitionRate() != 0 {
+		t.Fatal("empty profile rates must be 0")
+	}
+	p.Observe(true)
+	if p.TakenRate() != 1 {
+		t.Fatal("single-exec taken rate")
+	}
+	if p.TransitionRate() != 0 {
+		t.Fatal("single-exec transition rate must be 0")
+	}
+}
+
+func TestProfileAlternating(t *testing.T) {
+	var p Profile
+	for i := 0; i < 100; i++ {
+		p.Observe(i%2 == 0)
+	}
+	if got := p.TransitionRate(); got != 1.0 {
+		t.Fatalf("strict alternator transition rate %v, want 1.0", got)
+	}
+	if got := p.TakenRate(); got != 0.5 {
+		t.Fatalf("alternator taken rate %v, want 0.5", got)
+	}
+}
+
+func TestProfileConstant(t *testing.T) {
+	var p Profile
+	for i := 0; i < 100; i++ {
+		p.Observe(true)
+	}
+	if p.TransitionRate() != 0 || p.TakenRate() != 1 {
+		t.Fatalf("constant branch: taken=%v trans=%v", p.TakenRate(), p.TransitionRate())
+	}
+}
+
+func TestProfileBlockPattern(t *testing.T) {
+	// Long runs of taken then not-taken: ~50% taken but near-zero
+	// transitions — the paper's motivating misclassified branch.
+	var p Profile
+	for i := 0; i < 50; i++ {
+		p.Observe(true)
+	}
+	for i := 0; i < 50; i++ {
+		p.Observe(false)
+	}
+	if p.TakenRate() != 0.5 {
+		t.Fatalf("taken rate %v", p.TakenRate())
+	}
+	if got := p.TransitionRate(); got > 0.02 {
+		t.Fatalf("block pattern transition rate %v, want ~1/99", got)
+	}
+	jc := ClassOfProfile(&p)
+	if jc.Taken != 5 || jc.Transition != 0 {
+		t.Fatalf("block pattern classified %s, want 5/0", jc)
+	}
+}
+
+func TestProfileMerge(t *testing.T) {
+	var a, b Profile
+	observeAll(&a, []bool{true, false})
+	observeAll(&b, []bool{false, true, true})
+	a.Merge(&b)
+	if a.Execs != 5 || a.Taken != 3 {
+		t.Fatalf("merged execs=%d taken=%d", a.Execs, a.Taken)
+	}
+	// transitions: a contributed 1, b contributed 1; boundary not counted.
+	if a.Transitions != 2 {
+		t.Fatalf("merged transitions=%d", a.Transitions)
+	}
+	var empty Profile
+	before := a
+	a.Merge(&empty)
+	if a != before {
+		t.Fatal("merging empty profile changed state")
+	}
+}
+
+func TestProfilerBasics(t *testing.T) {
+	pr := NewProfiler()
+	pr.Branch(0x100, true)
+	pr.Branch(0x100, false)
+	pr.Branch(0x200, true)
+	if pr.Events() != 3 || pr.Sites() != 2 {
+		t.Fatalf("events=%d sites=%d", pr.Events(), pr.Sites())
+	}
+	p := pr.Profile(0x100)
+	if p == nil || p.Execs != 2 || p.Transitions != 1 {
+		t.Fatalf("profile %+v", p)
+	}
+	if pr.Profile(0x999) != nil {
+		t.Fatal("unknown PC returned a profile")
+	}
+}
+
+// TestQuickTransitionFeasibility checks the arithmetic law that shapes
+// Table 2's empty corner: a branch with t taken out of n executions can
+// transition at most 2*min(t, n-t) (+1 depending on endpoints) times, so
+// transitions <= 2*min(taken, n-taken) + 1 always.
+func TestQuickTransitionFeasibility(t *testing.T) {
+	f := func(outcomes []bool) bool {
+		var p Profile
+		observeAll(&p, outcomes)
+		minSide := p.Taken
+		if other := p.Execs - p.Taken; other < minSide {
+			minSide = other
+		}
+		return p.Transitions <= 2*minSide
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRatesInRange: both rates always land in [0, 1].
+func TestQuickRatesInRange(t *testing.T) {
+	f := func(outcomes []bool) bool {
+		var p Profile
+		observeAll(&p, outcomes)
+		tr, tk := p.TransitionRate(), p.TakenRate()
+		return tr >= 0 && tr <= 1 && tk >= 0 && tk <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTransitionsMatchRecount: the incremental transition counter
+// agrees with a direct recount of adjacent differing pairs.
+func TestQuickTransitionsMatchRecount(t *testing.T) {
+	f := func(outcomes []bool) bool {
+		var p Profile
+		observeAll(&p, outcomes)
+		var want int64
+		for i := 1; i < len(outcomes); i++ {
+			if outcomes[i] != outcomes[i-1] {
+				want++
+			}
+		}
+		return p.Transitions == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+// Package experiments contains one driver per table and figure in the
+// paper (T1, T2, F1-F15), the §4.2 coverage arithmetic (S1), and the §5
+// ablations (A1-A3). Each driver renders its artifact from a shared
+// SuiteResult so the expensive sweep runs once per process.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"btr/internal/sim"
+	"btr/internal/workload"
+)
+
+// Context carries the configuration and lazily-computed suite results
+// shared by every experiment.
+type Context struct {
+	Cfg   sim.Config
+	Specs []workload.Spec
+
+	once  sync.Once
+	suite *sim.SuiteResult
+}
+
+// NewContext builds a context over the full Table 1 suite.
+func NewContext(cfg sim.Config) *Context {
+	return &Context{Cfg: cfg, Specs: workload.Suite()}
+}
+
+// Suite returns the shared suite result, computing it on first use.
+func (c *Context) Suite() *sim.SuiteResult {
+	c.once.Do(func() {
+		c.suite = sim.RunSuite(c.Specs, c.Cfg)
+	})
+	return c.suite
+}
+
+// Experiment is one reproducible artifact.
+type Experiment struct {
+	// ID is the index key, e.g. "T2" or "F13".
+	ID string
+	// Paper describes the original artifact.
+	Paper string
+	// Run renders the reproduction to w.
+	Run func(c *Context, w io.Writer) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment in registration (paper) order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Find returns the experiment with the given ID (case-sensitive).
+func Find(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range registry {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}

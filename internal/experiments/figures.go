@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"btr/internal/core"
+	"btr/internal/report"
+	"btr/internal/sim"
+)
+
+func init() {
+	register(Experiment{ID: "F1", Paper: "Figure 1: percent of dynamic branches per taken rate class", Run: runFig1})
+	register(Experiment{ID: "F2", Paper: "Figure 2: percent of dynamic branches per transition rate class", Run: runFig2})
+	register(Experiment{ID: "F3", Paper: "Figure 3: miss rates by taken rate class (optimal history per class)", Run: runFig3})
+	register(Experiment{ID: "F4", Paper: "Figure 4: miss rates by transition rate class (optimal history per class)", Run: runFig4})
+	register(Experiment{ID: "F5", Paper: "Figure 5: PAs miss rates by taken rate class and history length", Run: heatmapFig(sim.KindPAs, true, "Figure 5 — PAs miss rates, taken rate class x history length")})
+	register(Experiment{ID: "F6", Paper: "Figure 6: PAs miss rates by transition rate class and history length", Run: heatmapFig(sim.KindPAs, false, "Figure 6 — PAs miss rates, transition rate class x history length")})
+	register(Experiment{ID: "F7", Paper: "Figure 7: GAs miss rates by taken rate class and history length", Run: heatmapFig(sim.KindGAs, true, "Figure 7 — GAs miss rates, taken rate class x history length")})
+	register(Experiment{ID: "F8", Paper: "Figure 8: GAs miss rates by transition rate class and history length", Run: heatmapFig(sim.KindGAs, false, "Figure 8 — GAs miss rates, transition rate class x history length")})
+	register(Experiment{ID: "F9", Paper: "Figure 9: PAs miss rates by history length for taken classes 0,1,9,10", Run: lineFig(sim.KindPAs, true, "Figure 9 — PAs by history length, taken classes 0,1,9,10", "tac")})
+	register(Experiment{ID: "F10", Paper: "Figure 10: PAs miss rates by history length for transition classes 0,1,9,10", Run: lineFig(sim.KindPAs, false, "Figure 10 — PAs by history length, transition classes 0,1,9,10", "trc")})
+	register(Experiment{ID: "F11", Paper: "Figure 11: GAs miss rates by history length for taken classes 0,1,9,10", Run: lineFig(sim.KindGAs, true, "Figure 11 — GAs by history length, taken classes 0,1,9,10", "tac")})
+	register(Experiment{ID: "F12", Paper: "Figure 12: GAs miss rates by history length for transition classes 0,1,9,10", Run: lineFig(sim.KindGAs, false, "Figure 12 — GAs by history length, transition classes 0,1,9,10", "trc")})
+	register(Experiment{ID: "F13", Paper: "Figure 13: PAs miss rates for each joint class (optimal history per class)", Run: jointFig(sim.KindPAs, "Figure 13 — PAs joint-class miss rates (optimal history per cell)")})
+	register(Experiment{ID: "F14", Paper: "Figure 14: GAs miss rates for each joint class (optimal history per class)", Run: jointFig(sim.KindGAs, "Figure 14 — GAs joint-class miss rates (optimal history per cell)")})
+	register(Experiment{ID: "F15", Paper: "Figure 15: relative distance distribution of class 5/5 branches", Run: runFig15})
+}
+
+func classNames() []string {
+	names := make([]string, core.NumClasses)
+	for i := range names {
+		names[i] = fmt.Sprintf("%d", i)
+	}
+	return names
+}
+
+func runFig1(c *Context, w io.Writer) error {
+	suite := c.Suite()
+	marg := suite.Distribution.TakenMarginal()
+	return marginalTable(w, "Figure 1 — Percent of dynamic branches per taken rate class", "taken class", marg[:])
+}
+
+func runFig2(c *Context, w io.Writer) error {
+	suite := c.Suite()
+	marg := suite.Distribution.TransitionMarginal()
+	return marginalTable(w, "Figure 2 — Percent of dynamic branches per transition rate class", "transition class", marg[:])
+}
+
+func marginalTable(w io.Writer, title, label string, marg []float64) error {
+	tbl := report.Table{Title: title, Headers: []string{label, "percent of dynamic branches"}}
+	for i, v := range marg {
+		tbl.AddRow(fmt.Sprintf("%d", i), report.Percent(v))
+	}
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+	// bar sketch
+	for i, v := range marg {
+		n := int(v * 100)
+		if n > 70 {
+			n = 70
+		}
+		if _, err := fmt.Fprintf(w, "%2d |%s %s\n", i, barOf(n), report.Percent(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func barOf(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '#'
+	}
+	return string(b)
+}
+
+func runFig3(c *Context, w io.Writer) error {
+	return optimalFig(c, w, true, "Figure 3 — Miss rates by taken rate class, optimal history length per class")
+}
+
+func runFig4(c *Context, w io.Writer) error {
+	return optimalFig(c, w, false, "Figure 4 — Miss rates by transition rate class, optimal history length per class")
+}
+
+func optimalFig(c *Context, w io.Writer, taken bool, title string) error {
+	suite := c.Suite()
+	var pasKs, gasKs [core.NumClasses]int
+	var pasRates, gasRates [core.NumClasses]float64
+	if taken {
+		pasKs, pasRates = suite.OptimalHistoryTaken(sim.KindPAs)
+		gasKs, gasRates = suite.OptimalHistoryTaken(sim.KindGAs)
+	} else {
+		pasKs, pasRates = suite.OptimalHistoryTransition(sim.KindPAs)
+		gasKs, gasRates = suite.OptimalHistoryTransition(sim.KindGAs)
+	}
+	tbl := report.Table{Title: title,
+		Headers: []string{"class", "pas miss", "pas k*", "gas miss", "gas k*"}}
+	for cl := 0; cl < core.NumClasses; cl++ {
+		tbl.AddRow(fmt.Sprintf("%d", cl),
+			report.Rate(pasRates[cl]), fmt.Sprintf("%d", pasKs[cl]),
+			report.Rate(gasRates[cl]), fmt.Sprintf("%d", gasKs[cl]))
+	}
+	return tbl.Render(w)
+}
+
+// heatmapFig renders one of Figures 5-8: class (cols) x history length
+// (rows), for one predictor kind and one metric axis.
+func heatmapFig(kind sim.Kind, taken bool, title string) func(*Context, io.Writer) error {
+	return func(c *Context, w io.Writer) error {
+		suite := c.Suite()
+		values := make([][]float64, sim.NumHistories)
+		rowNames := make([]string, sim.NumHistories)
+		for k := 0; k < sim.NumHistories; k++ {
+			var rates [core.NumClasses]float64
+			if taken {
+				rates = suite.MissRateByTaken(kind, k)
+			} else {
+				rates = suite.MissRateByTransition(kind, k)
+			}
+			values[k] = append([]float64(nil), rates[:]...)
+			rowNames[k] = fmt.Sprintf("%d", k)
+		}
+		colLabel := "taken rate class"
+		if !taken {
+			colLabel = "transition rate class"
+		}
+		hm := report.Heatmap{
+			Title:    title,
+			RowLabel: "branch history length",
+			ColLabel: colLabel,
+			RowNames: rowNames,
+			ColNames: classNames(),
+			Values:   values,
+			Lo:       0, Hi: 0.5, // the paper's colormaps clamp at 0.5+
+			Annotate: true,
+		}
+		return hm.Render(w)
+	}
+}
+
+// lineFig renders one of Figures 9-12: curves for classes 0, 1, 9, 10.
+func lineFig(kind sim.Kind, taken bool, title, prefix string) func(*Context, io.Writer) error {
+	return func(c *Context, w io.Writer) error {
+		suite := c.Suite()
+		classes := []core.Class{0, 1, 9, 10}
+		xs := make([]int, sim.NumHistories)
+		for k := range xs {
+			xs[k] = k
+		}
+		ls := report.LineSeries{Title: title, XLabel: "history", XVals: xs}
+		for _, cl := range classes {
+			var curve []float64
+			if taken {
+				curve = suite.HistoryCurveTaken(kind, cl)
+			} else {
+				curve = suite.HistoryCurveTransition(kind, cl)
+			}
+			ls.Names = append(ls.Names, fmt.Sprintf("%s %d", prefix, cl))
+			ls.Series = append(ls.Series, curve)
+		}
+		return ls.Render(w)
+	}
+}
+
+// jointFig renders Figure 13 or 14: the 11x11 joint-class miss-rate map
+// with each cell at its own optimal history length.
+func jointFig(kind sim.Kind, title string) func(*Context, io.Writer) error {
+	return func(c *Context, w io.Writer) error {
+		suite := c.Suite()
+		rates, ks := suite.OptimalJoint(kind)
+		values := make([][]float64, core.NumClasses)
+		rowNames := make([]string, core.NumClasses)
+		for tr := 0; tr < core.NumClasses; tr++ {
+			row := make([]float64, core.NumClasses)
+			for t := 0; t < core.NumClasses; t++ {
+				row[t] = rates[t][tr]
+			}
+			values[tr] = row
+			rowNames[tr] = fmt.Sprintf("%d", tr)
+		}
+		hm := report.Heatmap{
+			Title:    title,
+			RowLabel: "transition rate class",
+			ColLabel: "taken rate class",
+			RowNames: rowNames,
+			ColNames: classNames(),
+			Values:   values,
+			Lo:       0, Hi: 0.45,
+			Annotate: true,
+		}
+		if err := hm.Render(w); err != nil {
+			return err
+		}
+		hard := rates[5][5]
+		if _, err := fmt.Fprintf(w, "\n5/5 cell miss rate: %s (paper: worst cell, near 50%%), chosen k=%d\n",
+			report.Rate(hard), ks[5][5]); err != nil {
+			return err
+		}
+		return nil
+	}
+}
+
+func runFig15(c *Context, w io.Writer) error {
+	suite := c.Suite()
+	window := 8
+	tbl := report.Table{
+		Title: "Figure 15 — Relative distance distribution of class 5/5 branches " +
+			"(percent of 5/5 occurrences at each dynamic-branch distance from the previous one)",
+	}
+	tbl.Headers = []string{"benchmark"}
+	for d := 1; d < window; d++ {
+		tbl.Headers = append(tbl.Headers, fmt.Sprintf("%d", d))
+	}
+	tbl.Headers = append(tbl.Headers, fmt.Sprintf("%d+", window))
+	for _, bench := range suite.Benchmarks() {
+		h := suite.HardByBench[bench]
+		if h == nil || h.Total() == 0 {
+			tbl.AddRow(append([]string{bench}, make([]string, window)...)...)
+			continue
+		}
+		fr := h.Fractions()
+		row := []string{bench}
+		for d := 1; d <= window && d < len(fr); d++ {
+			row = append(row, report.Percent(fr[d]))
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl.Render(w)
+}

@@ -1,0 +1,291 @@
+// Package report renders experiment results as aligned ASCII tables,
+// text gray-scale heatmaps (for the paper's colormap figures), and CSV.
+// Everything writes through io.Writer so the cmd tools, examples and tests
+// share one formatting path.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table with padded columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title))); err != nil {
+			return err
+		}
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		_, err := fmt.Fprintln(w, b.String())
+		return err
+	}
+	if err := writeRow(t.Headers); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := writeRow(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderCSV writes the table as CSV (no quoting needed for our content,
+// but commas in cells are escaped defensively).
+func (t *Table) RenderCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		escaped := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				escaped[i] = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			} else {
+				escaped[i] = c
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.Join(escaped, ","))
+		return err
+	}
+	if err := writeRow(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Percent formats a fraction as "12.34%".
+func Percent(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }
+
+// Rate formats a miss rate with three decimals.
+func Rate(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// shades orders characters light to dark for text heatmaps.
+const shades = " .:-=+*#%@"
+
+// Shade maps v in [lo, hi] to a gray-scale rune (dark = large), matching
+// the paper's "dark areas represent larger miss rates" convention.
+func Shade(v, lo, hi float64) byte {
+	if hi <= lo {
+		return shades[0]
+	}
+	t := (v - lo) / (hi - lo)
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	i := int(t * float64(len(shades)-1))
+	return shades[i]
+}
+
+// Heatmap renders a matrix as a text colormap with numeric side tables.
+type Heatmap struct {
+	Title    string
+	RowLabel string // e.g. "branch history length"
+	ColLabel string // e.g. "taken rate class"
+	RowNames []string
+	ColNames []string
+	Values   [][]float64 // [row][col]
+	Lo, Hi   float64     // shading range; Hi <= Lo auto-scales
+	Annotate bool        // also print the numeric matrix
+}
+
+// Render writes the shaded map and, if Annotate, the numbers.
+func (h *Heatmap) Render(w io.Writer) error {
+	lo, hi := h.Lo, h.Hi
+	if hi <= lo {
+		lo, hi = h.autoRange()
+	}
+	if h.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n%s\n", h.Title, strings.Repeat("=", len(h.Title))); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "cols: %s | rows: %s | shade '%s' spans [%.3f, %.3f], darker = higher\n",
+		h.ColLabel, h.RowLabel, shades, lo, hi); err != nil {
+		return err
+	}
+	rowW := 0
+	for _, n := range h.RowNames {
+		if len(n) > rowW {
+			rowW = len(n)
+		}
+	}
+	var head strings.Builder
+	head.WriteString(strings.Repeat(" ", rowW+1))
+	for _, c := range h.ColNames {
+		head.WriteString(fmt.Sprintf("%2s ", c))
+	}
+	if _, err := fmt.Fprintln(w, head.String()); err != nil {
+		return err
+	}
+	for i, row := range h.Values {
+		var b strings.Builder
+		name := ""
+		if i < len(h.RowNames) {
+			name = h.RowNames[i]
+		}
+		b.WriteString(fmt.Sprintf("%*s ", rowW, name))
+		for _, v := range row {
+			s := Shade(v, lo, hi)
+			b.WriteByte(' ')
+			b.WriteByte(s)
+			b.WriteByte(s)
+		}
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+	}
+	if !h.Annotate {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, "values:"); err != nil {
+		return err
+	}
+	for i, row := range h.Values {
+		var b strings.Builder
+		name := ""
+		if i < len(h.RowNames) {
+			name = h.RowNames[i]
+		}
+		b.WriteString(fmt.Sprintf("%*s ", rowW, name))
+		for _, v := range row {
+			b.WriteString(fmt.Sprintf(" %.3f", v))
+		}
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *Heatmap) autoRange() (lo, hi float64) {
+	first := true
+	for _, row := range h.Values {
+		for _, v := range row {
+			if first {
+				lo, hi = v, v
+				first = false
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	return lo, hi
+}
+
+// LineSeries renders several named curves over a shared integer x-axis as
+// a table plus a coarse ASCII plot, which is how the line-plot figures
+// (9-12) are reproduced in text.
+type LineSeries struct {
+	Title  string
+	XLabel string
+	XVals  []int
+	Names  []string
+	Series [][]float64 // [series][x]
+}
+
+// Render writes the numeric table followed by a bar sketch per series.
+func (l *LineSeries) Render(w io.Writer) error {
+	tbl := Table{Title: l.Title}
+	tbl.Headers = append([]string{l.XLabel}, l.Names...)
+	for xi, x := range l.XVals {
+		row := []string{fmt.Sprintf("%d", x)}
+		for si := range l.Series {
+			row = append(row, Rate(l.Series[si][xi]))
+		}
+		tbl.AddRow(row...)
+	}
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+	// sketch: one row per series, one shaded cell per x
+	var lo, hi float64
+	first := true
+	for _, s := range l.Series {
+		for _, v := range s {
+			if first {
+				lo, hi = v, v
+				first = false
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "sketch (darker = higher miss rate, range [%.3f, %.3f]):\n", lo, hi); err != nil {
+		return err
+	}
+	nameW := 0
+	for _, n := range l.Names {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	for si, name := range l.Names {
+		var b strings.Builder
+		b.WriteString(fmt.Sprintf("%*s ", nameW, name))
+		for xi := range l.XVals {
+			s := Shade(l.Series[si][xi], lo, hi)
+			b.WriteByte(s)
+			b.WriteByte(s)
+		}
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		Title:   "Demo",
+		Headers: []string{"name", "value"},
+	}
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("b", "22222")
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Demo", "====", "name", "alpha", "22222", "-----"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + underline + header + separator + 2 rows
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: "value" column starts at the same offset everywhere.
+	headerIdx := strings.Index(lines[2], "value")
+	rowIdx := strings.Index(lines[4], "1")
+	if headerIdx != rowIdx {
+		t.Fatalf("column misaligned: header at %d, row at %d\n%s", headerIdx, rowIdx, out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := Table{Headers: []string{"a", "b"}}
+	tbl.AddRow("plain", `has "quotes", and comma`)
+	var buf bytes.Buffer
+	if err := tbl.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"has ""quotes"", and comma"`) {
+		t.Fatalf("CSV escaping broken:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Fatalf("CSV header broken:\n%s", out)
+	}
+}
+
+func TestPercentAndRate(t *testing.T) {
+	if Percent(0.1234) != "12.34%" {
+		t.Fatalf("Percent: %s", Percent(0.1234))
+	}
+	if Rate(0.12345) != "0.123" {
+		t.Fatalf("Rate: %s", Rate(0.12345))
+	}
+}
+
+func TestShade(t *testing.T) {
+	if Shade(0, 0, 1) != ' ' {
+		t.Fatal("low values must shade light")
+	}
+	if Shade(1, 0, 1) != '@' {
+		t.Fatal("high values must shade dark")
+	}
+	if Shade(-5, 0, 1) != ' ' || Shade(5, 0, 1) != '@' {
+		t.Fatal("out-of-range values must clamp")
+	}
+	if Shade(0.5, 1, 1) != ' ' {
+		t.Fatal("degenerate range must not panic")
+	}
+	// monotone
+	prev := byte(' ')
+	order := " .:-=+*#%@"
+	for v := 0.0; v <= 1.0; v += 0.05 {
+		s := Shade(v, 0, 1)
+		if strings.IndexByte(order, s) < strings.IndexByte(order, prev) {
+			t.Fatalf("shade not monotone at %v", v)
+		}
+		prev = s
+	}
+}
+
+func TestHeatmapRender(t *testing.T) {
+	hm := Heatmap{
+		Title:    "HM",
+		RowLabel: "row",
+		ColLabel: "col",
+		RowNames: []string{"r0", "r1"},
+		ColNames: []string{"c0", "c1", "c2"},
+		Values:   [][]float64{{0, 0.25, 0.5}, {0.5, 0.25, 0}},
+		Annotate: true,
+	}
+	var buf bytes.Buffer
+	if err := hm.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"HM", "r0", "r1", "c2", "values:", "0.250"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHeatmapAutoRange(t *testing.T) {
+	hm := Heatmap{
+		RowNames: []string{"r"},
+		ColNames: []string{"a", "b"},
+		Values:   [][]float64{{2, 4}},
+	}
+	var buf bytes.Buffer
+	if err := hm.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "[2.000, 4.000]") {
+		t.Fatalf("auto range missing:\n%s", buf.String())
+	}
+}
+
+func TestLineSeriesRender(t *testing.T) {
+	ls := LineSeries{
+		Title:  "LS",
+		XLabel: "k",
+		XVals:  []int{0, 1, 2},
+		Names:  []string{"one", "two"},
+		Series: [][]float64{{0.3, 0.2, 0.1}, {0.1, 0.2, 0.3}},
+	}
+	var buf bytes.Buffer
+	if err := ls.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"LS", "k", "one", "two", "0.300", "sketch"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

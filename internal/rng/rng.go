@@ -1,0 +1,124 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators used by the synthetic workloads.
+//
+// Workloads must replay bit-identically across the profile pass and the
+// predict pass (and across machines), so they cannot use math/rand's
+// global, seed-hashed state. This package implements splitmix64 (for seed
+// expansion) and xoshiro256** (for the main stream), both with fully
+// specified semantics.
+package rng
+
+// SplitMix64 is a tiny 64-bit generator with a single word of state.
+// It is primarily used to expand user seeds into xoshiro256** state,
+// following the recommendation of Blackman & Vigna.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next value in the sequence.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a deterministic xoshiro256** generator.
+// The zero value is not usable; construct with New.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator whose state is derived from seed via splitmix64.
+// Two generators created with the same seed produce identical streams.
+func New(seed uint64) *Rand {
+	sm := NewSplitMix64(seed)
+	r := &Rand{}
+	for i := range r.s {
+		r.s[i] = sm.Next()
+	}
+	// xoshiro256** requires a non-zero state; splitmix64 output over four
+	// words is never all-zero for any seed, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly reorders the first n elements using swap,
+// mirroring math/rand.Shuffle's contract.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Geometric returns a sample from a geometric distribution with success
+// probability p (number of failures before the first success). It is used
+// by workloads to generate run lengths. p must be in (0, 1].
+func (r *Rand) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("rng: Geometric needs p in (0,1]")
+	}
+	n := 0
+	for !r.Bool(p) {
+		n++
+		if n > 1<<20 { // safety valve; statistically unreachable for sane p
+			break
+		}
+	}
+	return n
+}

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"testing"
+
+	"btr/internal/rng"
+	"btr/internal/workload"
+)
+
+// Crafted specs give exact control of the branch stream, so attribution
+// can be asserted precisely.
+
+// alternatorSpec emits one branch that strictly alternates.
+func alternatorSpec() workload.Spec {
+	return workload.NewSpec("synthetic", "alternator", 1000, 1,
+		func(t *workload.T, r *rng.Rand, target int64) {
+			i := int64(0)
+			for t.N() < target {
+				t.B(1, i%2 == 0)
+				i++
+			}
+		})
+}
+
+// hardPairSpec emits a hard (5/5-class) branch every 4th event, with
+// uniform-random outcomes, padded by an always-taken branch.
+func hardPairSpec() workload.Spec {
+	return workload.NewSpec("synthetic", "hardpair", 4000, 7,
+		func(t *workload.T, r *rng.Rand, target int64) {
+			for t.N() < target {
+				t.B(1, true)
+				t.B(1, true)
+				t.B(1, true)
+				t.B(2, r.Bool(0.5))
+			}
+		})
+}
+
+func TestCustomSpecAlternatorAttribution(t *testing.T) {
+	res := RunInput(alternatorSpec(), Config{Scale: 1})
+	if res.Sites != 1 {
+		t.Fatalf("sites %d", res.Sites)
+	}
+	// The single branch must land in joint class 5/10.
+	if res.Exec[5][10] != res.Events {
+		t.Fatalf("alternator attributed to wrong cell: exec[5][10]=%d events=%d",
+			res.Exec[5][10], res.Events)
+	}
+	// PAs k=0 must be pathological on it, PAs k>=1 near perfect.
+	missK0 := res.Miss[KindPAs][0][5][10]
+	missK1 := res.Miss[KindPAs][1][5][10]
+	if float64(missK0) < 0.9*float64(res.Events) {
+		t.Fatalf("PAs(0) missed only %d/%d on the alternator", missK0, res.Events)
+	}
+	if float64(missK1) > 0.05*float64(res.Events) {
+		t.Fatalf("PAs(1) missed %d/%d on the alternator", missK1, res.Events)
+	}
+}
+
+func TestCustomSpecHardDistances(t *testing.T) {
+	// The hard branch occurs every 4 dynamic branches, so every recorded
+	// distance must be exactly 4 — if the random site actually lands in
+	// the 5/5 cell at this sample size.
+	res := RunInput(hardPairSpec(), Config{Scale: 1})
+	jc, ok := res.Classes.Lookup(hardPairSpec().PCBase() + 2<<2)
+	if !ok {
+		t.Fatal("random branch not profiled")
+	}
+	if !jc.Hard() {
+		t.Skipf("random branch sampled into class %s, not 5/5; nothing to assert", jc)
+	}
+	if res.HardDistances.Total() == 0 {
+		t.Fatal("no hard distances recorded")
+	}
+	for d, count := range res.HardDistances.Bins {
+		if count > 0 && d != 4 {
+			t.Fatalf("distance %d recorded %d times; all distances must be 4", d, count)
+		}
+	}
+}
+
+func TestCustomSpecInSuite(t *testing.T) {
+	suite := RunSuite([]workload.Spec{alternatorSpec(), hardPairSpec()}, Config{Scale: 1, Workers: 2})
+	if len(suite.Inputs) != 2 {
+		t.Fatal("inputs")
+	}
+	if suite.HardByBench["synthetic"] == nil {
+		t.Fatal("per-bench histogram missing for custom bench name")
+	}
+	// The alternator contributes all its weight to transition class 10.
+	marg := suite.Distribution.TransitionMarginal()
+	if marg[10] < 0.15 {
+		t.Fatalf("transition class 10 share %.3f; alternator weight missing", marg[10])
+	}
+}

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"btr/internal/core"
+	"btr/internal/stats"
+)
+
+// Reductions from the raw class-attributed counts to the series each
+// figure plots. All rates are dynamic-occurrence weighted; empty classes
+// report 0.
+
+// MissRateByTaken returns the per-taken-class miss rate for one predictor
+// configuration (one column of Figures 5/7, one curve point of 9/11).
+func (s *SuiteResult) MissRateByTaken(kind Kind, k int) [core.NumClasses]float64 {
+	var out [core.NumClasses]float64
+	exec := s.Exec.TakenMarginal()
+	miss := s.Miss[kind][k].TakenMarginal()
+	for c := range out {
+		out[c] = stats.Ratio(float64(miss[c]), float64(exec[c]))
+	}
+	return out
+}
+
+// MissRateByTransition returns the per-transition-class miss rate for one
+// configuration (Figures 6/8, 10/12).
+func (s *SuiteResult) MissRateByTransition(kind Kind, k int) [core.NumClasses]float64 {
+	var out [core.NumClasses]float64
+	exec := s.Exec.TransitionMarginal()
+	miss := s.Miss[kind][k].TransitionMarginal()
+	for c := range out {
+		out[c] = stats.Ratio(float64(miss[c]), float64(exec[c]))
+	}
+	return out
+}
+
+// MissRateJoint returns the 11x11 joint-class miss-rate matrix for one
+// configuration.
+func (s *SuiteResult) MissRateJoint(kind Kind, k int) [core.NumClasses][core.NumClasses]float64 {
+	var out [core.NumClasses][core.NumClasses]float64
+	for t := 0; t < core.NumClasses; t++ {
+		for tr := 0; tr < core.NumClasses; tr++ {
+			out[t][tr] = stats.Ratio(
+				float64(s.Miss[kind][k][t][tr]),
+				float64(s.Exec[t][tr]))
+		}
+	}
+	return out
+}
+
+// HistoryCurveTaken returns the miss rate of one taken class across every
+// history length (the Figure 9/11 curves).
+func (s *SuiteResult) HistoryCurveTaken(kind Kind, class core.Class) []float64 {
+	out := make([]float64, NumHistories)
+	for k := 0; k < NumHistories; k++ {
+		out[k] = s.MissRateByTaken(kind, k)[class]
+	}
+	return out
+}
+
+// HistoryCurveTransition returns the miss rate of one transition class
+// across every history length (the Figure 10/12 curves).
+func (s *SuiteResult) HistoryCurveTransition(kind Kind, class core.Class) []float64 {
+	out := make([]float64, NumHistories)
+	for k := 0; k < NumHistories; k++ {
+		out[k] = s.MissRateByTransition(kind, k)[class]
+	}
+	return out
+}
+
+// OptimalHistoryTaken returns, per taken class, the history length with
+// the lowest class miss rate and that rate (Figure 3's "optimal history
+// length per class").
+func (s *SuiteResult) OptimalHistoryTaken(kind Kind) (ks [core.NumClasses]int, rates [core.NumClasses]float64) {
+	for c := core.Class(0); int(c) < core.NumClasses; c++ {
+		curve := s.HistoryCurveTaken(kind, c)
+		best := stats.ArgMin(curve)
+		ks[c] = best
+		rates[c] = curve[best]
+	}
+	return ks, rates
+}
+
+// OptimalHistoryTransition is OptimalHistoryTaken for transition classes
+// (Figure 4).
+func (s *SuiteResult) OptimalHistoryTransition(kind Kind) (ks [core.NumClasses]int, rates [core.NumClasses]float64) {
+	for c := core.Class(0); int(c) < core.NumClasses; c++ {
+		curve := s.HistoryCurveTransition(kind, c)
+		best := stats.ArgMin(curve)
+		ks[c] = best
+		rates[c] = curve[best]
+	}
+	return ks, rates
+}
+
+// OptimalJoint returns the joint-class miss-rate matrix where each cell
+// uses its own best history length (Figures 13-14), plus the chosen
+// lengths.
+func (s *SuiteResult) OptimalJoint(kind Kind) (rates [core.NumClasses][core.NumClasses]float64, ks [core.NumClasses][core.NumClasses]int) {
+	for t := 0; t < core.NumClasses; t++ {
+		for tr := 0; tr < core.NumClasses; tr++ {
+			if s.Exec[t][tr] == 0 {
+				continue
+			}
+			curve := make([]float64, NumHistories)
+			for k := 0; k < NumHistories; k++ {
+				curve[k] = stats.Ratio(
+					float64(s.Miss[kind][k][t][tr]),
+					float64(s.Exec[t][tr]))
+			}
+			best := stats.ArgMin(curve)
+			ks[t][tr] = best
+			rates[t][tr] = curve[best]
+		}
+	}
+	return rates, ks
+}
+
+// OverallMissRate returns the whole-suite miss rate for one configuration.
+func (s *SuiteResult) OverallMissRate(kind Kind, k int) float64 {
+	return stats.Ratio(float64(s.Miss[kind][k].Total()), float64(s.Exec.Total()))
+}

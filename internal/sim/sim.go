@@ -1,0 +1,193 @@
+// Package sim is the experiment harness: it drives the instrumented
+// workloads through a two-pass pipeline (profile, then predict) and
+// produces the class-attributed miss statistics behind every figure and
+// table in the paper.
+//
+// Pass 1 replays a workload into a core.Profiler, yielding each static
+// branch's taken/transition profile and joint class. Pass 2 replays the
+// identical stream into a bank of predictors — PAs(k) and GAs(k) for every
+// history length k — attributing each hit/miss to the branch's joint class
+// from pass 1. Classification uses the *complete* run's rates, exactly as
+// the paper's profiling does.
+package sim
+
+import (
+	"fmt"
+
+	"btr/internal/bpred"
+	"btr/internal/core"
+	"btr/internal/stats"
+	"btr/internal/trace"
+	"btr/internal/workload"
+)
+
+// Kind selects the two-level predictor family of the paper's sweep.
+type Kind int
+
+const (
+	// KindPAs is the per-address-history two-level predictor.
+	KindPAs Kind = iota
+	// KindGAs is the global-history two-level predictor.
+	KindGAs
+	// NumKinds counts the families swept.
+	NumKinds
+)
+
+// String names the kind as the paper does.
+func (k Kind) String() string {
+	switch k {
+	case KindPAs:
+		return "pas"
+	case KindGAs:
+		return "gas"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// NumHistories is the number of history lengths swept (0..MaxHistory).
+const NumHistories = bpred.MaxHistory + 1
+
+// Config controls a run.
+type Config struct {
+	// Scale multiplies every input's dynamic branch target; 1.0 is the
+	// registry default (the paper's Table 1 counts divided by 1000).
+	Scale float64
+	// Workers bounds concurrent inputs; 0 means GOMAXPROCS.
+	Workers int
+	// HardDistanceWindow is the number of Figure 15 distance bins; the
+	// last bin is open ("8+"). 0 means 8.
+	HardDistanceWindow int
+}
+
+func (c Config) window() int {
+	if c.HardDistanceWindow <= 0 {
+		return 8
+	}
+	return c.HardDistanceWindow
+}
+
+// JointCounts is an 11x11 matrix of per-joint-class event counts.
+type JointCounts [core.NumClasses][core.NumClasses]int64
+
+// Add accumulates other into j.
+func (j *JointCounts) Add(other *JointCounts) {
+	for a := range j {
+		for b := range j[a] {
+			j[a][b] += other[a][b]
+		}
+	}
+}
+
+// Total sums all cells.
+func (j *JointCounts) Total() int64 {
+	var sum int64
+	for a := range j {
+		for b := range j[a] {
+			sum += j[a][b]
+		}
+	}
+	return sum
+}
+
+// TakenMarginal sums each taken-class row.
+func (j *JointCounts) TakenMarginal() [core.NumClasses]int64 {
+	var out [core.NumClasses]int64
+	for t := range j {
+		for tr := range j[t] {
+			out[t] += j[t][tr]
+		}
+	}
+	return out
+}
+
+// TransitionMarginal sums each transition-class column.
+func (j *JointCounts) TransitionMarginal() [core.NumClasses]int64 {
+	var out [core.NumClasses]int64
+	for t := range j {
+		for tr := range j[t] {
+			out[tr] += j[t][tr]
+		}
+	}
+	return out
+}
+
+// InputResult holds everything measured for one benchmark input.
+type InputResult struct {
+	Spec   workload.Spec
+	Events int64
+	Sites  int
+
+	// Profiles is the per-branch profile from pass 1.
+	Profiles map[uint64]*core.Profile
+	// Classes is the joint classification derived from Profiles.
+	Classes core.ClassMap
+
+	// Exec attributes every dynamic execution to its branch's joint class.
+	Exec JointCounts
+	// Miss[kind][k] attributes mispredictions of predictor kind with
+	// history length k to joint classes.
+	Miss [NumKinds][NumHistories]JointCounts
+
+	// HardDistances histograms the dynamic-branch distance between
+	// consecutive executions of hard (5/5) branches: bins 1..window,
+	// last bin open (Figure 15). Bin 0 is unused.
+	HardDistances *stats.Histogram
+}
+
+// ProfileInput runs pass 1 only: profile and classify one input.
+func ProfileInput(spec workload.Spec, scale float64) (*core.Profiler, core.ClassMap) {
+	profiler := core.NewProfiler()
+	spec.Run(profiler, scale)
+	return profiler, core.Classify(profiler.Profiles())
+}
+
+// RunInput runs the full two-pass pipeline for one input.
+func RunInput(spec workload.Spec, cfg Config) *InputResult {
+	profiler, classes := ProfileInput(spec, cfg.Scale)
+
+	res := &InputResult{
+		Spec:          spec,
+		Events:        profiler.Events(),
+		Sites:         profiler.Sites(),
+		Profiles:      profiler.Profiles(),
+		Classes:       classes,
+		HardDistances: stats.NewHistogram(cfg.window() + 1),
+	}
+
+	// Build the predictor bank: PAs(k) and GAs(k), k = 0..MaxHistory.
+	var pas [NumHistories]*bpred.PAs
+	var gas [NumHistories]*bpred.GAs
+	for k := 0; k < NumHistories; k++ {
+		pas[k] = bpred.NewPAs(k)
+		gas[k] = bpred.NewGAs(k)
+	}
+
+	var pos, lastHard int64
+	sawHard := false
+	sink := trace.SinkFunc(func(pc uint64, taken bool) {
+		jc := classes[pc]
+		t, tr := jc.Taken, jc.Transition
+		res.Exec[t][tr]++
+		for k := 0; k < NumHistories; k++ {
+			if pas[k].Predict(pc) != taken {
+				res.Miss[KindPAs][k][t][tr]++
+			}
+			pas[k].Update(pc, taken)
+			if gas[k].Predict(pc) != taken {
+				res.Miss[KindGAs][k][t][tr]++
+			}
+			gas[k].Update(pc, taken)
+		}
+		pos++
+		if jc.Hard() {
+			if sawHard {
+				res.HardDistances.Add(int(pos - lastHard))
+			}
+			sawHard = true
+			lastHard = pos
+		}
+	})
+	spec.Run(sink, cfg.Scale)
+	return res
+}

@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"testing"
+
+	"btr/internal/core"
+	"btr/internal/workload"
+)
+
+const testScale = 0.002
+
+func testSpec(t *testing.T, bench, input string) workload.Spec {
+	t.Helper()
+	spec, err := workload.Find(bench, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestJointCountsOps(t *testing.T) {
+	var a, b JointCounts
+	a[3][4] = 10
+	a[5][5] = 2
+	b[3][4] = 5
+	a.Add(&b)
+	if a[3][4] != 15 || a.Total() != 17 {
+		t.Fatalf("add/total: %d %d", a[3][4], a.Total())
+	}
+	tm := a.TakenMarginal()
+	if tm[3] != 15 || tm[5] != 2 {
+		t.Fatalf("taken marginal %v", tm)
+	}
+	rm := a.TransitionMarginal()
+	if rm[4] != 15 || rm[5] != 2 {
+		t.Fatalf("transition marginal %v", rm)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindPAs.String() != "pas" || KindGAs.String() != "gas" {
+		t.Fatal("kind names")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind must still render")
+	}
+}
+
+func TestProfileInputDeterminism(t *testing.T) {
+	spec := testSpec(t, "gcc", "genoutput.i")
+	p1, c1 := ProfileInput(spec, testScale)
+	p2, c2 := ProfileInput(spec, testScale)
+	if p1.Events() != p2.Events() || p1.Sites() != p2.Sites() {
+		t.Fatal("profiling is not deterministic")
+	}
+	if len(c1) != len(c2) {
+		t.Fatal("class maps differ")
+	}
+	for pc, jc := range c1 {
+		if c2[pc] != jc {
+			t.Fatalf("class for %#x differs", pc)
+		}
+	}
+}
+
+func TestRunInputConsistency(t *testing.T) {
+	spec := testSpec(t, "perl", "primes.pl")
+	res := RunInput(spec, Config{Scale: testScale})
+
+	// Pass 2 must see exactly the events pass 1 profiled.
+	if got := res.Exec.Total(); got != res.Events {
+		t.Fatalf("attributed executions %d != profiled events %d", got, res.Events)
+	}
+	// Each configuration's misses are bounded by the class executions.
+	for kind := Kind(0); kind < NumKinds; kind++ {
+		for k := 0; k < NumHistories; k++ {
+			for a := 0; a < core.NumClasses; a++ {
+				for b := 0; b < core.NumClasses; b++ {
+					if res.Miss[kind][k][a][b] > res.Exec[a][b] {
+						t.Fatalf("%v k=%d class %d/%d: misses %d > execs %d",
+							kind, k, a, b, res.Miss[kind][k][a][b], res.Exec[a][b])
+					}
+				}
+			}
+		}
+	}
+	// Profiled sites and classes must agree.
+	if len(res.Classes) != res.Sites {
+		t.Fatalf("classes %d != sites %d", len(res.Classes), res.Sites)
+	}
+}
+
+func TestRunInputMissRatesPlausible(t *testing.T) {
+	spec := testSpec(t, "compress", "bigtest.in")
+	res := RunInput(spec, Config{Scale: testScale})
+	suite := Aggregate([]*InputResult{res}, Config{Scale: testScale})
+
+	for kind := Kind(0); kind < NumKinds; kind++ {
+		zero := suite.OverallMissRate(kind, 0)
+		best := zero
+		for k := 1; k < NumHistories; k++ {
+			if r := suite.OverallMissRate(kind, k); r < best {
+				best = r
+			}
+		}
+		if zero <= 0 || zero >= 0.5 {
+			t.Fatalf("%v k=0 overall miss rate %.3f implausible", kind, zero)
+		}
+		if best > zero+0.01 {
+			t.Fatalf("%v best-over-k %.3f worse than k=0 %.3f", kind, best, zero)
+		}
+	}
+}
+
+func TestSuiteAggregation(t *testing.T) {
+	specs := []workload.Spec{
+		testSpec(t, "perl", "primes.pl"),
+		testSpec(t, "gcc", "genoutput.i"),
+	}
+	cfg := Config{Scale: testScale, Workers: 2}
+	suite := RunSuite(specs, cfg)
+	if len(suite.Inputs) != 2 {
+		t.Fatalf("inputs %d", len(suite.Inputs))
+	}
+	var events int64
+	for _, in := range suite.Inputs {
+		events += in.Events
+	}
+	if suite.TotalEvents() != events {
+		t.Fatal("TotalEvents mismatch")
+	}
+	if suite.Exec.Total() != events {
+		t.Fatalf("aggregated exec %d != %d", suite.Exec.Total(), events)
+	}
+	if suite.Distribution.Total != float64(events) {
+		t.Fatalf("distribution total %v != %d", suite.Distribution.Total, events)
+	}
+	benches := suite.Benchmarks()
+	if len(benches) != 2 {
+		t.Fatalf("benchmarks %v", benches)
+	}
+}
+
+func TestSuiteParallelMatchesSerial(t *testing.T) {
+	specs := []workload.Spec{
+		testSpec(t, "gcc", "genoutput.i"),
+		testSpec(t, "gcc", "genrecog.i"),
+		testSpec(t, "perl", "primes.pl"),
+	}
+	serial := RunSuite(specs, Config{Scale: testScale, Workers: 1})
+	parallel := RunSuite(specs, Config{Scale: testScale, Workers: 3})
+	if serial.Exec != parallel.Exec {
+		t.Fatal("parallel aggregation changed exec attribution")
+	}
+	for kind := Kind(0); kind < NumKinds; kind++ {
+		for k := 0; k < NumHistories; k++ {
+			if serial.Miss[kind][k] != parallel.Miss[kind][k] {
+				t.Fatalf("parallel run diverged for %v k=%d", kind, k)
+			}
+		}
+	}
+}
+
+func TestReductions(t *testing.T) {
+	spec := testSpec(t, "vortex", "vortex.lit")
+	suite := RunSuite([]workload.Spec{spec}, Config{Scale: testScale})
+
+	byTaken := suite.MissRateByTaken(KindPAs, 4)
+	byTrans := suite.MissRateByTransition(KindPAs, 4)
+	joint := suite.MissRateJoint(KindPAs, 4)
+	for c := 0; c < core.NumClasses; c++ {
+		if byTaken[c] < 0 || byTaken[c] > 1 || byTrans[c] < 0 || byTrans[c] > 1 {
+			t.Fatalf("class %d rates out of range", c)
+		}
+		for b := 0; b < core.NumClasses; b++ {
+			if joint[c][b] < 0 || joint[c][b] > 1 {
+				t.Fatalf("joint %d/%d out of range", c, b)
+			}
+		}
+	}
+
+	curve := suite.HistoryCurveTaken(KindGAs, 10)
+	if len(curve) != NumHistories {
+		t.Fatalf("curve length %d", len(curve))
+	}
+
+	ks, rates := suite.OptimalHistoryTaken(KindPAs)
+	for c := 0; c < core.NumClasses; c++ {
+		if ks[c] < 0 || ks[c] > 16 {
+			t.Fatalf("optimal k %d", ks[c])
+		}
+		// The optimum must not exceed any point on the curve.
+		cc := suite.HistoryCurveTaken(KindPAs, core.Class(c))
+		for _, v := range cc {
+			if rates[c] > v+1e-12 {
+				t.Fatalf("class %d: optimal %v > curve point %v", c, rates[c], v)
+			}
+		}
+	}
+
+	_, _ = suite.OptimalHistoryTransition(KindGAs)
+	jr, jk := suite.OptimalJoint(KindPAs)
+	for a := 0; a < core.NumClasses; a++ {
+		for b := 0; b < core.NumClasses; b++ {
+			if jr[a][b] < 0 || jr[a][b] > 1 || jk[a][b] < 0 || jk[a][b] > 16 {
+				t.Fatalf("optimal joint %d/%d bad: %v k=%d", a, b, jr[a][b], jk[a][b])
+			}
+		}
+	}
+}
+
+func TestHardDistances(t *testing.T) {
+	// vortex's random-key compares generate 5/5 branches, so its Figure 15
+	// histogram must be non-empty at a reasonable scale.
+	spec := testSpec(t, "vortex", "vortex.lit")
+	suite := RunSuite([]workload.Spec{spec}, Config{Scale: 0.005})
+	h := suite.HardByBench["vortex"]
+	if h == nil {
+		t.Fatal("no hard-distance histogram for vortex")
+	}
+	if h.Total() == 0 {
+		t.Skip("no 5/5 branches at this scale; acceptable but nothing to check")
+	}
+	if h.Bins[0] != 0 {
+		t.Fatal("distance 0 is impossible (bin 0 must stay empty)")
+	}
+}
+
+func TestConfigWindow(t *testing.T) {
+	if (Config{}).window() != 8 {
+		t.Fatal("default window")
+	}
+	if (Config{HardDistanceWindow: 12}).window() != 12 {
+		t.Fatal("explicit window")
+	}
+}

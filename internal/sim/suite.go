@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"btr/internal/core"
+	"btr/internal/stats"
+	"btr/internal/workload"
+)
+
+// SuiteResult aggregates InputResults across benchmark inputs, dynamic-
+// occurrence weighted, which is how every paper figure reports data.
+type SuiteResult struct {
+	// Inputs holds the per-input results in suite order.
+	Inputs []*InputResult
+
+	// Distribution is the suite-wide joint distribution (Table 2, Figures
+	// 1-2): each static branch weighted by its dynamic count, classified
+	// within its own input's profile.
+	Distribution core.Distribution
+
+	// Exec and Miss are the summed class-attributed counts.
+	Exec JointCounts
+	Miss [NumKinds][NumHistories]JointCounts
+
+	// HardByBench histograms Figure 15 distances per benchmark.
+	HardByBench map[string]*stats.Histogram
+}
+
+// RunSuite runs every spec through the two-pass pipeline, in parallel up
+// to cfg.Workers, and aggregates.
+func RunSuite(specs []workload.Spec, cfg Config) *SuiteResult {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]*InputResult, len(specs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec workload.Spec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = RunInput(spec, cfg)
+		}(i, spec)
+	}
+	wg.Wait()
+	return Aggregate(results, cfg)
+}
+
+// Aggregate folds per-input results into a SuiteResult.
+func Aggregate(results []*InputResult, cfg Config) *SuiteResult {
+	suite := &SuiteResult{
+		Inputs:      results,
+		HardByBench: make(map[string]*stats.Histogram),
+	}
+	for _, r := range results {
+		suite.Distribution.AddProfiles(r.Profiles)
+		suite.Exec.Add(&r.Exec)
+		for kind := Kind(0); kind < NumKinds; kind++ {
+			for k := 0; k < NumHistories; k++ {
+				suite.Miss[kind][k].Add(&r.Miss[kind][k])
+			}
+		}
+		h := suite.HardByBench[r.Spec.Bench]
+		if h == nil {
+			h = stats.NewHistogram(cfg.window() + 1)
+			suite.HardByBench[r.Spec.Bench] = h
+		}
+		for i, c := range r.HardDistances.Bins {
+			h.Bins[i] += c
+		}
+	}
+	return suite
+}
+
+// Benchmarks lists the distinct benchmark names present, in input order.
+func (s *SuiteResult) Benchmarks() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, r := range s.Inputs {
+		if !seen[r.Spec.Bench] {
+			seen[r.Spec.Bench] = true
+			out = append(out, r.Spec.Bench)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalEvents sums dynamic branches across inputs.
+func (s *SuiteResult) TotalEvents() int64 {
+	var sum int64
+	for _, r := range s.Inputs {
+		sum += r.Events
+	}
+	return sum
+}

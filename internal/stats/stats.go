@@ -1,0 +1,83 @@
+// Package stats provides the small numeric helpers shared by the
+// simulation harness and experiment drivers: ratio matrices, argmin
+// selection, and fixed-bin histograms.
+package stats
+
+// Ratio returns num/den, or 0 when den == 0. Miss-rate arithmetic uses it
+// everywhere so empty classes render as 0 rather than NaN.
+func Ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// ArgMin returns the index of the smallest value (first on ties), or -1
+// for an empty slice.
+func ArgMin(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, v := range xs {
+		if v < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Histogram counts values into unit bins [0, n), clamping the final bin —
+// the shape needed by the paper's Figure 15 ("8+" last bin).
+type Histogram struct {
+	Bins []int64
+}
+
+// NewHistogram returns a histogram with n bins.
+func NewHistogram(n int) *Histogram {
+	return &Histogram{Bins: make([]int64, n)}
+}
+
+// Add counts v, clamping negative values to bin 0 and large values into
+// the last bin.
+func (h *Histogram) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.Bins) {
+		v = len(h.Bins) - 1
+	}
+	h.Bins[v]++
+}
+
+// Total returns the sum of all bins.
+func (h *Histogram) Total() int64 {
+	var sum int64
+	for _, b := range h.Bins {
+		sum += b
+	}
+	return sum
+}
+
+// Fractions returns per-bin fractions of the total (zeros if empty).
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.Bins))
+	total := float64(h.Total())
+	if total == 0 {
+		return out
+	}
+	for i, b := range h.Bins {
+		out[i] = float64(b) / total
+	}
+	return out
+}
+
+// WeightedMean returns sum(w·x)/sum(w), or 0 when all weights are zero.
+func WeightedMean(xs, ws []float64) float64 {
+	var num, den float64
+	for i := range xs {
+		num += xs[i] * ws[i]
+		den += ws[i]
+	}
+	return Ratio(num, den)
+}

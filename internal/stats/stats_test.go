@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 2) != 0.5 {
+		t.Fatal("Ratio(1,2)")
+	}
+	if Ratio(1, 0) != 0 {
+		t.Fatal("Ratio by zero should be 0")
+	}
+	if Ratio(0, 5) != 0 {
+		t.Fatal("Ratio(0,5)")
+	}
+}
+
+func TestArgMin(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want int
+	}{
+		{nil, -1},
+		{[]float64{3}, 0},
+		{[]float64{3, 1, 2}, 1},
+		{[]float64{1, 1, 0.5, 0.5}, 2}, // first of ties
+		{[]float64{-1, 0, -1}, 0},
+	}
+	for _, c := range cases {
+		if got := ArgMin(c.xs); got != c.want {
+			t.Fatalf("ArgMin(%v) = %d, want %d", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(4)
+	h.Add(0)
+	h.Add(1)
+	h.Add(1)
+	h.Add(99) // clamps to last bin
+	h.Add(-5) // clamps to first bin
+	if h.Total() != 5 {
+		t.Fatalf("total %d", h.Total())
+	}
+	if h.Bins[0] != 2 || h.Bins[1] != 2 || h.Bins[3] != 1 {
+		t.Fatalf("bins %v", h.Bins)
+	}
+	fr := h.Fractions()
+	var sum float64
+	for _, f := range fr {
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("fractions sum %v", sum)
+	}
+	empty := NewHistogram(3)
+	for _, f := range empty.Fractions() {
+		if f != 0 {
+			t.Fatal("empty histogram fractions not zero")
+		}
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	if got := WeightedMean([]float64{1, 3}, []float64{1, 1}); got != 2 {
+		t.Fatalf("mean %v", got)
+	}
+	if got := WeightedMean([]float64{1, 3}, []float64{0, 1}); got != 3 {
+		t.Fatalf("weighted mean %v", got)
+	}
+	if got := WeightedMean([]float64{1, 3}, []float64{0, 0}); got != 0 {
+		t.Fatalf("zero-weight mean %v", got)
+	}
+}
+
+func TestQuickArgMinIsMinimal(t *testing.T) {
+	f := func(xs []float64) bool {
+		i := ArgMin(xs)
+		if len(xs) == 0 {
+			return i == -1
+		}
+		for _, v := range xs {
+			// NaN-free inputs only: quick generates no NaNs for float64?
+			// It can; skip those cases.
+			if v != v {
+				return true
+			}
+		}
+		for _, v := range xs {
+			if v < xs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHistogramTotal(t *testing.T) {
+	f := func(vals []int16) bool {
+		h := NewHistogram(16)
+		for _, v := range vals {
+			h.Add(int(v))
+		}
+		return h.Total() == int64(len(vals))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stats summarises a branch event stream.
+type Stats struct {
+	Events      int64 // total dynamic branch executions
+	Taken       int64 // dynamic executions that were taken
+	StaticSites int   // distinct branch PCs observed
+}
+
+// TakenFraction returns the dynamic taken fraction, or 0 for an empty trace.
+func (s Stats) TakenFraction() float64 {
+	if s.Events == 0 {
+		return 0
+	}
+	return float64(s.Taken) / float64(s.Events)
+}
+
+// String renders a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("events=%d taken=%.2f%% static_sites=%d",
+		s.Events, 100*s.TakenFraction(), s.StaticSites)
+}
+
+// StatsSink accumulates Stats from a stream; it implements Sink.
+type StatsSink struct {
+	stats Stats
+	seen  map[uint64]struct{}
+}
+
+// NewStatsSink returns an empty accumulator.
+func NewStatsSink() *StatsSink {
+	return &StatsSink{seen: make(map[uint64]struct{})}
+}
+
+// Branch accounts for one event.
+func (s *StatsSink) Branch(pc uint64, taken bool) {
+	s.stats.Events++
+	if taken {
+		s.stats.Taken++
+	}
+	if _, ok := s.seen[pc]; !ok {
+		s.seen[pc] = struct{}{}
+		s.stats.StaticSites++
+	}
+}
+
+// Stats returns the accumulated summary.
+func (s *StatsSink) Stats() Stats { return s.stats }
+
+// SiteCounts returns the dynamic execution count of every observed PC,
+// sorted by PC, as parallel slices. Useful for inspecting hot sites.
+func SiteCounts(src Source) (pcs []uint64, counts []int64, err error) {
+	m := make(map[uint64]int64)
+	for {
+		ev, ok, err := src.Next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			break
+		}
+		m[ev.PC]++
+	}
+	pcs = make([]uint64, 0, len(m))
+	for pc := range m {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	counts = make([]int64, len(pcs))
+	for i, pc := range pcs {
+		counts[i] = m[pc]
+	}
+	return pcs, counts, nil
+}

@@ -1,0 +1,124 @@
+// Package trace defines the branch event model shared by every layer of the
+// system: workloads emit events, predictors consume them, and the codecs in
+// this package persist them.
+//
+// An event is the pair (PC, outcome) for one dynamic execution of a
+// conditional branch — exactly the information the paper's modified
+// sim-bpred extracted from SimpleScalar. Only conditional branches are
+// represented; unconditional control flow never reaches this layer.
+package trace
+
+// Event is one dynamic execution of a conditional branch.
+type Event struct {
+	// PC identifies the static branch site. Synthetic workloads map their
+	// instrumentation site IDs into a sparse address space; stored traces
+	// carry whatever addresses they were recorded with.
+	PC uint64
+	// Taken reports the branch direction for this execution.
+	Taken bool
+}
+
+// Sink consumes a stream of branch events. Profilers, predictors and trace
+// writers all implement Sink.
+type Sink interface {
+	// Branch records one dynamic branch execution.
+	Branch(pc uint64, taken bool)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(pc uint64, taken bool)
+
+// Branch calls f(pc, taken).
+func (f SinkFunc) Branch(pc uint64, taken bool) { f(pc, taken) }
+
+// Source produces a stream of branch events. Stored traces and recorded
+// in-memory traces implement Source.
+type Source interface {
+	// Next returns the next event. ok is false when the stream is
+	// exhausted; err (if any) is returned alongside ok == false.
+	Next() (ev Event, ok bool, err error)
+}
+
+// Tee returns a Sink that forwards every event to each of sinks in order.
+// A nil entry is skipped.
+func Tee(sinks ...Sink) Sink {
+	filtered := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			filtered = append(filtered, s)
+		}
+	}
+	return teeSink(filtered)
+}
+
+type teeSink []Sink
+
+func (t teeSink) Branch(pc uint64, taken bool) {
+	for _, s := range t {
+		s.Branch(pc, taken)
+	}
+}
+
+// Copy drains src into dst and reports the number of events copied.
+func Copy(dst Sink, src Source) (int64, error) {
+	var n int64
+	for {
+		ev, ok, err := src.Next()
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			return n, nil
+		}
+		dst.Branch(ev.PC, ev.Taken)
+		n++
+	}
+}
+
+// Recorder is a Sink that stores events in memory, for tests and small
+// analyses. Use Source() to replay it.
+type Recorder struct {
+	Events []Event
+}
+
+// Branch appends the event.
+func (r *Recorder) Branch(pc uint64, taken bool) {
+	r.Events = append(r.Events, Event{PC: pc, Taken: taken})
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.Events) }
+
+// Source returns a replayable view of the recorded events.
+func (r *Recorder) Source() Source { return &sliceSource{events: r.Events} }
+
+// SliceSource returns a Source that yields the given events in order.
+func SliceSource(events []Event) Source { return &sliceSource{events: events} }
+
+type sliceSource struct {
+	events []Event
+	pos    int
+}
+
+func (s *sliceSource) Next() (Event, bool, error) {
+	if s.pos >= len(s.events) {
+		return Event{}, false, nil
+	}
+	ev := s.events[s.pos]
+	s.pos++
+	return ev, true, nil
+}
+
+// CountingSink wraps a Sink and counts events; a nil inner Sink just counts.
+type CountingSink struct {
+	Inner Sink
+	N     int64
+}
+
+// Branch forwards to the inner sink (if any) and increments the count.
+func (c *CountingSink) Branch(pc uint64, taken bool) {
+	if c.Inner != nil {
+		c.Inner.Branch(pc, taken)
+	}
+	c.N++
+}

@@ -1,0 +1,334 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{PC: 0x400000, Taken: true},
+		{PC: 0x400004, Taken: false},
+		{PC: 0x400000, Taken: true},
+		{PC: 0x7fffffffffff, Taken: false},
+		{PC: 0x400008, Taken: true},
+		{PC: 0, Taken: false},
+	}
+}
+
+func TestRecorderRoundTrip(t *testing.T) {
+	rec := &Recorder{}
+	for _, ev := range sampleEvents() {
+		rec.Branch(ev.PC, ev.Taken)
+	}
+	if rec.Len() != len(sampleEvents()) {
+		t.Fatalf("recorder length %d, want %d", rec.Len(), len(sampleEvents()))
+	}
+	src := rec.Source()
+	for i, want := range sampleEvents() {
+		got, ok, err := src.Next()
+		if err != nil || !ok {
+			t.Fatalf("event %d: ok=%v err=%v", i, ok, err)
+		}
+		if got != want {
+			t.Fatalf("event %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, ok, _ := src.Next(); ok {
+		t.Fatal("source yielded extra event")
+	}
+}
+
+func TestBinaryCodecRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range sampleEvents() {
+		w.Branch(ev.PC, ev.Taken)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range sampleEvents() {
+		got, ok, err := r.Next()
+		if err != nil || !ok {
+			t.Fatalf("event %d: ok=%v err=%v", i, ok, err)
+		}
+		if got != want {
+			t.Fatalf("event %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, ok, _ := r.Next(); ok {
+		t.Fatal("reader yielded extra event")
+	}
+}
+
+func TestBinaryCodecCompactness(t *testing.T) {
+	// A hot-loop trace (one PC, alternating outcomes) must cost ~1
+	// byte/event, far below the naive 9.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		w.Branch(0x400100, i%2 == 0)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	perEvent := float64(buf.Len()-4) / n
+	if perEvent > 1.13 {
+		t.Fatalf("hot-loop encoding costs %.3f bytes/event, want ~1.125", perEvent)
+	}
+}
+
+func TestWriterPartialFinalGroup(t *testing.T) {
+	// Streams whose length is not a multiple of the group size must
+	// round-trip: the final short group is implicit in EOF.
+	for _, n := range []int{1, 2, 7, 8, 9, 15, 16, 17} {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			w.Branch(uint64(0x1000+4*i), i%3 == 0)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			ev, ok, err := r.Next()
+			if err != nil || !ok {
+				t.Fatalf("n=%d event %d: ok=%v err=%v", n, i, ok, err)
+			}
+			if ev.PC != uint64(0x1000+4*i) || ev.Taken != (i%3 == 0) {
+				t.Fatalf("n=%d event %d: got %+v", n, i, ev)
+			}
+		}
+		if _, ok, _ := r.Next(); ok {
+			t.Fatalf("n=%d: extra event", n)
+		}
+	}
+}
+
+func TestWriterRejectsAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w.Branch(1, true)
+	if err := w.Close(); !errors.Is(err, ErrWriterClosed) {
+		t.Fatalf("err = %v, want ErrWriterClosed", err)
+	}
+}
+
+func TestWriterFlushKeepsPartialGroup(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Branch(4, true) // one pending event, group not complete
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 4 {
+		t.Fatalf("flush emitted a partial group (%d bytes beyond header)", buf.Len()-4)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, ok, err := r.Next()
+	if err != nil || !ok || ev.PC != 4 || !ev.Taken {
+		t.Fatalf("event after close: %+v ok=%v err=%v", ev, ok, err)
+	}
+}
+
+func TestReaderRejectsBadMagic(t *testing.T) {
+	_, err := NewReader(bytes.NewReader([]byte("NOPE....")))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReaderShortHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("BT"))); err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+func TestTextCodecRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := WriteText(&buf, SliceSource(sampleEvents()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(sampleEvents())) {
+		t.Fatalf("wrote %d events, want %d", n, len(sampleEvents()))
+	}
+	events, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(sampleEvents()) {
+		t.Fatalf("read %d events, want %d", len(events), len(sampleEvents()))
+	}
+	for i, want := range sampleEvents() {
+		if events[i] != want {
+			t.Fatalf("event %d: got %+v want %+v", i, events[i], want)
+		}
+	}
+}
+
+func TestReadTextRejectsGarbage(t *testing.T) {
+	if _, err := ReadText(bytes.NewBufferString("0x10 X\n")); err == nil {
+		t.Fatal("bad direction accepted")
+	}
+	if _, err := ReadText(bytes.NewBufferString("zzz\n")); err == nil {
+		t.Fatal("bad line accepted")
+	}
+}
+
+func TestTee(t *testing.T) {
+	a, b := &Recorder{}, &Recorder{}
+	sink := Tee(a, nil, b)
+	sink.Branch(1, true)
+	sink.Branch(2, false)
+	if a.Len() != 2 || b.Len() != 2 {
+		t.Fatalf("tee delivered %d/%d events, want 2/2", a.Len(), b.Len())
+	}
+}
+
+func TestCopy(t *testing.T) {
+	rec := &Recorder{}
+	n, err := Copy(rec, SliceSource(sampleEvents()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(sampleEvents())) || rec.Len() != len(sampleEvents()) {
+		t.Fatalf("copied %d, recorded %d", n, rec.Len())
+	}
+}
+
+func TestCountingSink(t *testing.T) {
+	inner := &Recorder{}
+	c := &CountingSink{Inner: inner}
+	c.Branch(1, true)
+	c.Branch(2, false)
+	if c.N != 2 || inner.Len() != 2 {
+		t.Fatalf("count=%d inner=%d", c.N, inner.Len())
+	}
+	bare := &CountingSink{}
+	bare.Branch(3, true)
+	if bare.N != 1 {
+		t.Fatalf("bare count=%d", bare.N)
+	}
+}
+
+func TestStatsSink(t *testing.T) {
+	s := NewStatsSink()
+	s.Branch(1, true)
+	s.Branch(1, false)
+	s.Branch(2, true)
+	st := s.Stats()
+	if st.Events != 3 || st.Taken != 2 || st.StaticSites != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := st.TakenFraction(); got < 0.66 || got > 0.67 {
+		t.Fatalf("taken fraction %v", got)
+	}
+	if (Stats{}).TakenFraction() != 0 {
+		t.Fatal("empty stats taken fraction not 0")
+	}
+	if st.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestSiteCounts(t *testing.T) {
+	pcs, counts, err := SiteCounts(SliceSource(sampleEvents()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pcs) != len(counts) {
+		t.Fatal("length mismatch")
+	}
+	total := int64(0)
+	for i := 1; i < len(pcs); i++ {
+		if pcs[i-1] >= pcs[i] {
+			t.Fatal("pcs not sorted")
+		}
+	}
+	for _, c := range counts {
+		total += c
+	}
+	if total != int64(len(sampleEvents())) {
+		t.Fatalf("counts sum %d, want %d", total, len(sampleEvents()))
+	}
+}
+
+func TestZigzagRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 63, -64, 1 << 40, -(1 << 40), -1 << 62} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Fatalf("zigzag(%d) round-trips to %d", v, got)
+		}
+	}
+}
+
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(pcs []uint64, dirs []bool) bool {
+		n := len(pcs)
+		if len(dirs) < n {
+			n = len(dirs)
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			w.Branch(pcs[i], dirs[i])
+		}
+		if w.Close() != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			ev, ok, err := r.Next()
+			if err != nil || !ok || ev.PC != pcs[i] || ev.Taken != dirs[i] {
+				return false
+			}
+		}
+		_, ok, err := r.Next()
+		return !ok && err == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,263 @@
+package workload
+
+import "btr/internal/rng"
+
+// compress: an LZW compressor/decompressor in the spirit of SPEC95 129.compress.
+// It generates pseudo-text, compresses it with a 12-bit-code LZW using an
+// open-addressing dictionary, decompresses, and verifies. The interesting
+// branch populations: dictionary probe hits (moderately biased), collision
+// chains (geometric), code-width/dictionary-reset guards (heavily biased),
+// text-generation word shapes, and the verify scan (always-taken-like).
+
+// Branch site IDs for compress (all sites in a workload share its PC base).
+const (
+	csMoreInput    = 1  // main loop: more input bytes remain
+	csProbeHit     = 2  // dictionary probe found the (prefix, char) pair
+	csProbeChain   = 3  // open-addressing collision: keep probing
+	csDictFull     = 4  // dictionary full: reset
+	csFlushBits    = 5  // output bit buffer holds a full byte
+	csWordBoundary = 6  // generated char ends a word
+	csVowelNext    = 7  // generator alternates vowel/consonant
+	csZipfHead     = 8  // word drawn from the hot head of the vocabulary
+	csDecMore      = 9  // decompressor: more codes remain
+	csDecKwKwK     = 10 // decompressor: the KwKwK special case
+	csDecUnstack   = 11 // decompressor: expansion stack non-empty
+	csVerifySame   = 12 // verify: byte matches
+	csPunct        = 13 // generator: emit punctuation instead of space
+	csUpperCase    = 14 // generator: capitalise word head
+	csByteASCII    = 15 // hot-path guard: input byte in ASCII range
+	csDictSane     = 16 // hot-path guard: dictionary invariant holds
+	csCodeValid    = 17 // hot-path guard: decoded code within table
+)
+
+const (
+	lzwBits     = 12
+	lzwMaxCodes = 1 << lzwBits
+	lzwHashSize = 1 << 13
+	lzwClear    = 256 // first 256 codes are literals
+)
+
+type lzwDict struct {
+	hash    [lzwHashSize]int32 // index into codes, -1 = empty
+	prefix  [lzwMaxCodes]int32
+	suffix  [lzwMaxCodes]byte
+	hashKey [lzwHashSize]uint32
+	next    int32
+}
+
+func (d *lzwDict) reset() {
+	for i := range d.hash {
+		d.hash[i] = -1
+	}
+	d.next = lzwClear + 1
+}
+
+func (d *lzwDict) slot(prefix int32, c byte) uint32 {
+	key := uint32(prefix)<<8 | uint32(c)
+	return (key * 2654435761) & (lzwHashSize - 1)
+}
+
+// compressRun drives the generate-compress-decompress-verify pipeline
+// until the tracer has emitted at least target branches.
+func compressRun(t *T, r *rng.Rand, target int64) {
+	vocab := makeVocabulary(r, 240)
+	dict := &lzwDict{}
+	for t.N() < target {
+		text := generateText(t, r, vocab, 4096)
+		codes := lzwCompress(t, dict, text)
+		out := lzwDecompress(t, codes)
+		verify(t, text, out)
+	}
+}
+
+// makeVocabulary builds a fixed pseudo-English word list.
+func makeVocabulary(r *rng.Rand, n int) []string {
+	vowels := "aeiou"
+	consonants := "bcdfghjklmnpqrstvwxyz"
+	words := make([]string, n)
+	for i := range words {
+		wordLen := 2 + r.Intn(8)
+		buf := make([]byte, 0, wordLen)
+		vowel := r.Bool(0.5)
+		for j := 0; j < wordLen; j++ {
+			if vowel {
+				buf = append(buf, vowels[r.Intn(len(vowels))])
+			} else {
+				buf = append(buf, consonants[r.Intn(len(consonants))])
+			}
+			vowel = !vowel
+		}
+		words[i] = string(buf)
+	}
+	return words
+}
+
+// generateText emits about size bytes of word-like text. Its branches are
+// part of the workload: the original compress spends real time producing
+// and scanning its input too.
+func generateText(t *T, r *rng.Rand, vocab []string, size int) []byte {
+	buf := make([]byte, 0, size+16)
+	for len(buf) < size {
+		// Zipf-ish draw: most words come from a small hot head.
+		var w string
+		if t.B(csZipfHead, r.Bool(0.7)) {
+			w = vocab[r.Intn(16)]
+		} else {
+			w = vocab[16+r.Intn(len(vocab)-16)]
+		}
+		if t.B(csUpperCase, r.Bool(0.08)) {
+			buf = append(buf, w[0]-'a'+'A')
+			buf = append(buf, w[1:]...)
+		} else {
+			buf = append(buf, w...)
+		}
+		vowel := false
+		for i := 0; i < len(w); i++ {
+			// Exercise an alternating data-dependent test over the word.
+			c := w[i] | 0x20
+			isVowel := c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u'
+			t.B(csVowelNext, isVowel != vowel)
+			vowel = isVowel
+		}
+		if t.B(csPunct, r.Bool(0.12)) {
+			buf = append(buf, '.', ' ')
+		} else {
+			buf = append(buf, ' ')
+		}
+		t.B(csWordBoundary, true)
+	}
+	return buf
+}
+
+// lzwCompress encodes text, reusing (and resetting) the shared dictionary.
+func lzwCompress(t *T, d *lzwDict, text []byte) []int32 {
+	d.reset()
+	codes := make([]int32, 0, len(text)/2)
+	prefix := int32(text[0])
+	bitsPending := 0
+	for i := 1; t.B(csMoreInput, i < len(text)); i++ {
+		c := text[i]
+		// Hot-path guards, as in the original's error/invariant checks:
+		// essentially never-failing tests dominate dynamic branch counts.
+		t.B(csByteASCII, c < 128)
+		t.B(csDictSane, d.next <= lzwMaxCodes)
+		slot := d.slot(prefix, c)
+		key := uint32(prefix)<<8 | uint32(c)
+		found := int32(-1)
+		for {
+			h := d.hash[slot]
+			if h < 0 {
+				break
+			}
+			if t.B(csProbeHit, d.hashKey[slot] == key) {
+				found = h
+				break
+			}
+			t.B(csProbeChain, true)
+			slot = (slot + 1) & (lzwHashSize - 1)
+		}
+		if found >= 0 {
+			prefix = found
+			continue
+		}
+		codes = append(codes, prefix)
+		bitsPending += lzwBits
+		if t.B(csFlushBits, bitsPending >= 8) {
+			bitsPending -= 8
+		}
+		if t.B(csDictFull, d.next >= lzwMaxCodes) {
+			d.reset()
+		} else {
+			d.hash[slot] = d.next
+			d.hashKey[slot] = key
+			d.prefix[d.next] = prefix
+			d.suffix[d.next] = c
+			d.next++
+		}
+		prefix = int32(c)
+	}
+	codes = append(codes, prefix)
+	return codes
+}
+
+// lzwDecompress reconstructs the text from the code stream. It rebuilds
+// the dictionary independently, as the real decompressor does.
+func lzwDecompress(t *T, codes []int32) []byte {
+	var prefix [lzwMaxCodes]int32
+	var suffix [lzwMaxCodes]byte
+	next := int32(lzwClear + 1)
+	out := make([]byte, 0, len(codes)*3)
+	var stack [lzwMaxCodes]byte
+
+	expand := func(code int32) byte {
+		sp := 0
+		for code >= lzwClear {
+			stack[sp] = suffix[code]
+			sp++
+			code = prefix[code]
+		}
+		first := byte(code)
+		out = append(out, first)
+		for t.B(csDecUnstack, sp > 0) {
+			sp--
+			out = append(out, stack[sp])
+		}
+		return first
+	}
+
+	prev := codes[0]
+	lastFirst := expand(prev)
+	for i := 1; t.B(csDecMore, i < len(codes)); i++ {
+		code := codes[i]
+		t.B(csCodeValid, code >= 0 && code < lzwMaxCodes)
+		if t.B(csDecKwKwK, code >= next) {
+			// KwKwK: the code is the entry being defined right now, so
+			// define it (prev + first char of prev) and then expand.
+			suffix[next] = lastFirst
+			prefix[next] = prev
+			next++
+			lastFirst = expand(code)
+		} else {
+			lastFirst = expand(code)
+			if next < lzwMaxCodes {
+				prefix[next] = prev
+				suffix[next] = lastFirst
+				next++
+			}
+		}
+		if next >= lzwMaxCodes {
+			next = lzwClear + 1
+		}
+		prev = code
+	}
+	return out
+}
+
+// verify compares the round-tripped text byte by byte. The compressor
+// resets its dictionary on full while this simplified decompressor wraps,
+// so divergence is possible; the scan itself is the point.
+func verify(t *T, a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	same := 0
+	for i := 0; i < n; i++ {
+		if t.B(csVerifySame, a[i] == b[i]) {
+			same++
+		} else {
+			break
+		}
+	}
+	return same
+}
+
+func compressSpecs() []Spec {
+	return []Spec{{
+		Bench:  "compress",
+		Input:  "bigtest.in",
+		Target: 5641834, // paper: 5,641,834,221 dynamic branches, scaled /1000
+		Seed:   0xC0_0001,
+		run:    compressRun,
+	}}
+}

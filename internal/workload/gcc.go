@@ -1,0 +1,746 @@
+package workload
+
+import "btr/internal/rng"
+
+// gcc: a small expression-language compiler standing in for SPEC95
+// 126.gcc. Each "input file" is a generated program in a C-like statement
+// language; the workload lexes it character by character, parses it with a
+// recursive-descent parser, constant-folds the AST, emits stack-machine
+// code, and runs a peephole pass. Compilers are branch-classification
+// gold: character-class tests, token dispatch chains, grammar guards,
+// both-operands-constant checks, and pattern-match scans, spread over many
+// static sites (gcc contributes the most static branches in the paper's
+// suite, and does here too).
+
+// Lexer sites.
+const (
+	gsMoreChars   = 1
+	gsIsSpace     = 2
+	gsIsDigit     = 3
+	gsIsAlpha     = 4
+	gsDigitMore   = 5
+	gsAlphaMore   = 6
+	gsIsKeyword   = 7
+	gsTwoCharOp   = 8
+	gsIsComment   = 9
+	gsCommentMore = 10
+	gsValidByte   = 11 // hot-path guard: byte is printable source text
+	gsLineLimit   = 12 // hot-path guard: line-length sanity check
+)
+
+// Parser sites.
+const (
+	gsMoreStmts   = 20
+	gsStmtIsLet   = 21
+	gsStmtIsIf    = 22
+	gsStmtIsWhile = 23
+	gsStmtIsPrint = 24
+	gsHasElse     = 25
+	gsAddOpMore   = 26
+	gsMulOpMore   = 27
+	gsCmpOp       = 28
+	gsUnaryNeg    = 29
+	gsPrimParen   = 30
+	gsPrimNum     = 31
+	gsPrimIdent   = 32
+	gsBlockMore   = 33
+)
+
+// Constant folder sites.
+const (
+	gsFoldBothConst = 40
+	gsFoldLeftZero  = 41
+	gsFoldRightZero = 42
+	gsFoldRightOne  = 43
+	gsFoldIsBinary  = 44
+	gsFoldDivGuard  = 45
+)
+
+// Code generator and peephole sites.
+const (
+	gsGenIsLeaf   = 50
+	gsGenIsConst  = 51
+	gsGenSpill    = 52
+	gsPeepWindow  = 53
+	gsPeepPushPop = 54
+	gsPeepAddZero = 55
+	gsPeepDupSeq  = 56
+	gsEmitWide    = 57
+	gsParseDepth  = 58 // hot-path guard: parse recursion sanity
+	gsTokenValid  = 59 // hot-path guard: token kind in range
+)
+
+// Register allocator sites.
+const (
+	gsRAScanMore   = 60 // interval scan loop
+	gsRAExpired    = 61 // active interval expired before current start
+	gsRAHaveFree   = 62 // a free physical register exists
+	gsRASpillLast  = 63 // current interval outlives the furthest active one
+	gsRAActiveMore = 64 // active-list walk
+	gsRAIsUse      = 65 // instruction references a virtual register
+	gsRATwoAddr    = 66 // instruction also writes a register
+)
+
+type gccToken struct {
+	kind int // tkNum, tkIdent, ...
+	val  int64
+	text string
+}
+
+const (
+	tkEOF = iota
+	tkNum
+	tkIdent
+	tkLet
+	tkIf
+	tkElse
+	tkWhile
+	tkPrint
+	tkPlus
+	tkMinus
+	tkStar
+	tkSlash
+	tkLParen
+	tkRParen
+	tkLBrace
+	tkRBrace
+	tkAssign
+	tkSemi
+	tkLess
+	tkGreater
+	tkEqEq
+)
+
+var gccKeywords = map[string]int{
+	"let": tkLet, "if": tkIf, "else": tkElse, "while": tkWhile, "print": tkPrint,
+}
+
+// gccParams shapes one input file's generated program, mirroring how the
+// paper's gcc inputs differ in size and character.
+type gccParams struct {
+	stmts     int     // statements per generated file
+	exprDepth int     // maximum expression nesting
+	idents    int     // identifier pool size
+	constBias float64 // probability a leaf is a literal constant
+	ifShare   float64 // share of if statements
+	loopShare float64 // share of while statements
+}
+
+func gccRun(p gccParams) func(t *T, r *rng.Rand, target int64) {
+	return func(t *T, r *rng.Rand, target int64) {
+		for t.N() < target {
+			src := gccGenerate(r, p)
+			toks := gccLex(t, src)
+			ast := gccParse(t, toks)
+			folded := make([]*gccNode, 0, len(ast))
+			for _, n := range ast {
+				folded = append(folded, gccFold(t, n))
+			}
+			var code []gccInstr
+			for _, n := range folded {
+				code = gccGen(t, n, code)
+			}
+			gccPeephole(t, code)
+			gccRegAlloc(t, code, 6)
+		}
+	}
+}
+
+// --- source generation ---
+
+type gccNode struct {
+	op          byte // 'n' num, 'v' var, '+', '-', '*', '/', '<', '>', '=', 'L' let, 'I' if, 'W' while, 'P' print
+	val         int64
+	name        int
+	left, right *gccNode
+	body, alt   []*gccNode
+}
+
+func gccGenerate(r *rng.Rand, p gccParams) []byte {
+	var buf []byte
+	var genExpr func(depth int)
+	genExpr = func(depth int) {
+		if depth <= 0 || r.Bool(0.35) {
+			if r.Bool(p.constBias) {
+				buf = appendInt(buf, int64(r.Intn(1000)))
+			} else {
+				buf = appendIdent(buf, r.Intn(p.idents))
+			}
+			return
+		}
+		if r.Bool(0.15) {
+			buf = append(buf, '(')
+			genExpr(depth - 1)
+			buf = append(buf, ')')
+			return
+		}
+		genExpr(depth - 1)
+		ops := []string{" + ", " - ", " * ", " / ", " < ", " > ", " == "}
+		buf = append(buf, ops[r.Intn(len(ops))]...)
+		genExpr(depth - 1)
+	}
+	var genStmt func(depth int)
+	genStmt = func(depth int) {
+		roll := r.Float64()
+		switch {
+		case roll < p.ifShare && depth > 0:
+			buf = append(buf, "if ("...)
+			genExpr(p.exprDepth)
+			buf = append(buf, ") { "...)
+			genStmt(depth - 1)
+			buf = append(buf, " } "...)
+			if r.Bool(0.4) {
+				buf = append(buf, "else { "...)
+				genStmt(depth - 1)
+				buf = append(buf, " } "...)
+			}
+		case roll < p.ifShare+p.loopShare && depth > 0:
+			buf = append(buf, "while ("...)
+			genExpr(2)
+			buf = append(buf, ") { "...)
+			genStmt(depth - 1)
+			buf = append(buf, " } "...)
+		case roll < p.ifShare+p.loopShare+0.1:
+			buf = append(buf, "print "...)
+			genExpr(p.exprDepth)
+			buf = append(buf, "; "...)
+		default:
+			buf = append(buf, "let "...)
+			buf = appendIdent(buf, r.Intn(p.idents))
+			buf = append(buf, " = "...)
+			genExpr(p.exprDepth)
+			buf = append(buf, "; "...)
+		}
+	}
+	for i := 0; i < p.stmts; i++ {
+		if r.Bool(0.06) {
+			buf = append(buf, "# comment line\n"...)
+		}
+		genStmt(2)
+		buf = append(buf, '\n')
+	}
+	return buf
+}
+
+func appendInt(buf []byte, v int64) []byte {
+	if v == 0 {
+		return append(buf, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(buf, tmp[i:]...)
+}
+
+func appendIdent(buf []byte, id int) []byte {
+	buf = append(buf, byte('a'+id%26))
+	if id >= 26 {
+		buf = appendInt(buf, int64(id/26))
+	}
+	return buf
+}
+
+// --- lexer ---
+
+func gccLex(t *T, src []byte) []gccToken {
+	toks := make([]gccToken, 0, len(src)/3)
+	i := 0
+	col := 0
+	for t.B(gsMoreChars, i < len(src)) {
+		c := src[i]
+		// Never-failing input sanity guards, the compiler's hot-path
+		// error checks.
+		t.B(gsValidByte, c >= '\t' && c < 127)
+		if c == '\n' {
+			col = 0
+		} else {
+			col++
+		}
+		t.B(gsLineLimit, col > 4096)
+		if t.B(gsIsSpace, c == ' ' || c == '\n' || c == '\t') {
+			i++
+			continue
+		}
+		if t.B(gsIsComment, c == '#') {
+			for t.B(gsCommentMore, i < len(src) && src[i] != '\n') {
+				i++
+			}
+			continue
+		}
+		if t.B(gsIsDigit, c >= '0' && c <= '9') {
+			var v int64
+			for t.B(gsDigitMore, i < len(src) && src[i] >= '0' && src[i] <= '9') {
+				v = v*10 + int64(src[i]-'0')
+				i++
+			}
+			toks = append(toks, gccToken{kind: tkNum, val: v})
+			continue
+		}
+		if t.B(gsIsAlpha, c >= 'a' && c <= 'z') {
+			start := i
+			for t.B(gsAlphaMore, i < len(src) && (src[i] >= 'a' && src[i] <= 'z' || src[i] >= '0' && src[i] <= '9')) {
+				i++
+			}
+			word := string(src[start:i])
+			if kw, ok := gccKeywords[word]; t.B(gsIsKeyword, ok) {
+				toks = append(toks, gccToken{kind: kw})
+			} else {
+				toks = append(toks, gccToken{kind: tkIdent, text: word})
+			}
+			continue
+		}
+		if t.B(gsTwoCharOp, c == '=' && i+1 < len(src) && src[i+1] == '=') {
+			toks = append(toks, gccToken{kind: tkEqEq})
+			i += 2
+			continue
+		}
+		var kind int
+		switch c {
+		case '+':
+			kind = tkPlus
+		case '-':
+			kind = tkMinus
+		case '*':
+			kind = tkStar
+		case '/':
+			kind = tkSlash
+		case '(':
+			kind = tkLParen
+		case ')':
+			kind = tkRParen
+		case '{':
+			kind = tkLBrace
+		case '}':
+			kind = tkRBrace
+		case '=':
+			kind = tkAssign
+		case ';':
+			kind = tkSemi
+		case '<':
+			kind = tkLess
+		case '>':
+			kind = tkGreater
+		default:
+			kind = tkEOF
+		}
+		toks = append(toks, gccToken{kind: kind})
+		i++
+	}
+	toks = append(toks, gccToken{kind: tkEOF})
+	return toks
+}
+
+// --- parser ---
+
+type gccParser struct {
+	t    *T
+	toks []gccToken
+	pos  int
+}
+
+func (p *gccParser) peek() int { return p.toks[p.pos].kind }
+func (p *gccParser) next() gccToken {
+	tok := p.toks[p.pos]
+	p.t.B(gsTokenValid, tok.kind >= tkEOF && tok.kind <= tkEqEq)
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return tok
+}
+func (p *gccParser) expect(kind int) gccToken {
+	if p.peek() == kind {
+		return p.next()
+	}
+	return gccToken{kind: kind} // error recovery: synthesise the token
+}
+
+func gccParse(t *T, toks []gccToken) []*gccNode {
+	p := &gccParser{t: t, toks: toks}
+	var prog []*gccNode
+	for t.B(gsMoreStmts, p.peek() != tkEOF) {
+		prog = append(prog, p.statement())
+	}
+	return prog
+}
+
+func (p *gccParser) statement() *gccNode {
+	t := p.t
+	t.B(gsParseDepth, p.pos > len(p.toks)) // sanity check, never taken
+	switch {
+	case t.B(gsStmtIsLet, p.peek() == tkLet):
+		p.next()
+		name := p.expect(tkIdent)
+		p.expect(tkAssign)
+		e := p.expr()
+		p.expect(tkSemi)
+		return &gccNode{op: 'L', name: identID(name.text), left: e}
+	case t.B(gsStmtIsIf, p.peek() == tkIf):
+		p.next()
+		p.expect(tkLParen)
+		cond := p.expr()
+		p.expect(tkRParen)
+		body := p.block()
+		n := &gccNode{op: 'I', left: cond, body: body}
+		if t.B(gsHasElse, p.peek() == tkElse) {
+			p.next()
+			n.alt = p.block()
+		}
+		return n
+	case t.B(gsStmtIsWhile, p.peek() == tkWhile):
+		p.next()
+		p.expect(tkLParen)
+		cond := p.expr()
+		p.expect(tkRParen)
+		return &gccNode{op: 'W', left: cond, body: p.block()}
+	case t.B(gsStmtIsPrint, p.peek() == tkPrint):
+		p.next()
+		e := p.expr()
+		p.expect(tkSemi)
+		return &gccNode{op: 'P', left: e}
+	default:
+		p.next() // skip unexpected token
+		return &gccNode{op: 'n', val: 0}
+	}
+}
+
+func (p *gccParser) block() []*gccNode {
+	p.expect(tkLBrace)
+	var stmts []*gccNode
+	for p.t.B(gsBlockMore, p.peek() != tkRBrace && p.peek() != tkEOF) {
+		stmts = append(stmts, p.statement())
+	}
+	p.expect(tkRBrace)
+	return stmts
+}
+
+func (p *gccParser) expr() *gccNode {
+	left := p.addExpr()
+	if p.t.B(gsCmpOp, p.peek() == tkLess || p.peek() == tkGreater || p.peek() == tkEqEq) {
+		op := byte('<')
+		switch p.next().kind {
+		case tkGreater:
+			op = '>'
+		case tkEqEq:
+			op = '='
+		}
+		return &gccNode{op: op, left: left, right: p.addExpr()}
+	}
+	return left
+}
+
+func (p *gccParser) addExpr() *gccNode {
+	left := p.mulExpr()
+	for p.t.B(gsAddOpMore, p.peek() == tkPlus || p.peek() == tkMinus) {
+		op := byte('+')
+		if p.next().kind == tkMinus {
+			op = '-'
+		}
+		left = &gccNode{op: op, left: left, right: p.mulExpr()}
+	}
+	return left
+}
+
+func (p *gccParser) mulExpr() *gccNode {
+	left := p.primary()
+	for p.t.B(gsMulOpMore, p.peek() == tkStar || p.peek() == tkSlash) {
+		op := byte('*')
+		if p.next().kind == tkSlash {
+			op = '/'
+		}
+		left = &gccNode{op: op, left: left, right: p.primary()}
+	}
+	return left
+}
+
+func (p *gccParser) primary() *gccNode {
+	t := p.t
+	if t.B(gsUnaryNeg, p.peek() == tkMinus) {
+		p.next()
+		return &gccNode{op: '-', left: &gccNode{op: 'n', val: 0}, right: p.primary()}
+	}
+	if t.B(gsPrimParen, p.peek() == tkLParen) {
+		p.next()
+		e := p.expr()
+		p.expect(tkRParen)
+		return e
+	}
+	if t.B(gsPrimNum, p.peek() == tkNum) {
+		return &gccNode{op: 'n', val: p.next().val}
+	}
+	if t.B(gsPrimIdent, p.peek() == tkIdent) {
+		return &gccNode{op: 'v', name: identID(p.next().text)}
+	}
+	p.next()
+	return &gccNode{op: 'n', val: 1}
+}
+
+func identID(s string) int {
+	id := 0
+	for i := 0; i < len(s); i++ {
+		id = id*36 + int(s[i])
+	}
+	return id
+}
+
+// --- constant folding ---
+
+func gccFold(t *T, n *gccNode) *gccNode {
+	if n == nil {
+		return nil
+	}
+	isBinary := n.op == '+' || n.op == '-' || n.op == '*' || n.op == '/' ||
+		n.op == '<' || n.op == '>' || n.op == '='
+	if !t.B(gsFoldIsBinary, isBinary) {
+		n.left = gccFold(t, n.left)
+		n.right = gccFold(t, n.right)
+		for i := range n.body {
+			n.body[i] = gccFold(t, n.body[i])
+		}
+		for i := range n.alt {
+			n.alt[i] = gccFold(t, n.alt[i])
+		}
+		return n
+	}
+	n.left = gccFold(t, n.left)
+	n.right = gccFold(t, n.right)
+	lConst := n.left.op == 'n'
+	rConst := n.right.op == 'n'
+	if t.B(gsFoldBothConst, lConst && rConst) {
+		v := int64(0)
+		l, rv := n.left.val, n.right.val
+		switch n.op {
+		case '+':
+			v = l + rv
+		case '-':
+			v = l - rv
+		case '*':
+			v = l * rv
+		case '/':
+			if t.B(gsFoldDivGuard, rv != 0) {
+				v = l / rv
+			}
+		case '<':
+			if l < rv {
+				v = 1
+			}
+		case '>':
+			if l > rv {
+				v = 1
+			}
+		case '=':
+			if l == rv {
+				v = 1
+			}
+		}
+		return &gccNode{op: 'n', val: v}
+	}
+	if t.B(gsFoldLeftZero, lConst && n.left.val == 0 && n.op == '+') {
+		return n.right
+	}
+	if t.B(gsFoldRightZero, rConst && n.right.val == 0 && (n.op == '+' || n.op == '-')) {
+		return n.left
+	}
+	if t.B(gsFoldRightOne, rConst && n.right.val == 1 && (n.op == '*' || n.op == '/')) {
+		return n.left
+	}
+	return n
+}
+
+// --- code generation ---
+
+type gccInstr struct {
+	op  byte // 'c' push const, 'l' load, 's' store, '+', '-', '*', '/', '<', '>', '=', 'p' print, 'j' jump, 'b' branch
+	arg int64
+}
+
+func gccGen(t *T, n *gccNode, code []gccInstr) []gccInstr {
+	if n == nil {
+		return code
+	}
+	leaf := n.op == 'n' || n.op == 'v'
+	if t.B(gsGenIsLeaf, leaf) {
+		if t.B(gsGenIsConst, n.op == 'n') {
+			return append(code, gccInstr{op: 'c', arg: n.val})
+		}
+		return append(code, gccInstr{op: 'l', arg: int64(n.name)})
+	}
+	switch n.op {
+	case 'L':
+		code = gccGen(t, n.left, code)
+		code = append(code, gccInstr{op: 's', arg: int64(n.name)})
+	case 'P':
+		code = gccGen(t, n.left, code)
+		code = append(code, gccInstr{op: 'p'})
+	case 'I':
+		code = gccGen(t, n.left, code)
+		code = append(code, gccInstr{op: 'b'})
+		for _, s := range n.body {
+			code = gccGen(t, s, code)
+		}
+		for _, s := range n.alt {
+			code = gccGen(t, s, code)
+		}
+	case 'W':
+		code = gccGen(t, n.left, code)
+		code = append(code, gccInstr{op: 'b'})
+		for _, s := range n.body {
+			code = gccGen(t, s, code)
+		}
+		code = append(code, gccInstr{op: 'j'})
+	default:
+		code = gccGen(t, n.left, code)
+		code = gccGen(t, n.right, code)
+		// Simulated register pressure: deep expressions spill.
+		if t.B(gsGenSpill, len(code) > 0 && len(code)%23 == 0) {
+			code = append(code, gccInstr{op: 's', arg: -1})
+			code = append(code, gccInstr{op: 'l', arg: -1})
+		}
+		code = append(code, gccInstr{op: n.op})
+	}
+	return code
+}
+
+// gccPeephole scans the instruction stream for local simplification
+// patterns, the classic sliding-window pass.
+func gccPeephole(t *T, code []gccInstr) int {
+	removed := 0
+	for i := 0; t.B(gsPeepWindow, i+1 < len(code)); i++ {
+		a, b := code[i], code[i+1]
+		if t.B(gsPeepPushPop, a.op == 's' && b.op == 'l' && a.arg == b.arg) {
+			removed++
+			continue
+		}
+		if t.B(gsPeepAddZero, a.op == 'c' && a.arg == 0 && b.op == '+') {
+			removed++
+			continue
+		}
+		if t.B(gsPeepDupSeq, a.op == b.op && a.arg == b.arg && a.op == 'l') {
+			removed++
+		}
+		if t.B(gsEmitWide, a.op == 'c' && a.arg > 255) {
+			// wide-immediate encoding path
+			_ = a
+		}
+	}
+	return removed
+}
+
+// gccRegAlloc runs a linear-scan register allocation over the generated
+// code, treating each distinct load/store argument as a virtual register.
+// Linear scan is branch-classification-rich: the expiry test tracks
+// interval lengths (data dependent), the free-register test is biased by
+// pressure, and the spill heuristic compares interval endpoints.
+func gccRegAlloc(t *T, code []gccInstr, numRegs int) int {
+	// Build live intervals: first and last position of each vreg.
+	type interval struct {
+		vreg       int64
+		start, end int
+	}
+	firstPos := make(map[int64]int)
+	lastPos := make(map[int64]int)
+	var order []int64
+	for pos, ins := range code {
+		isUse := ins.op == 'l' || ins.op == 's'
+		if !t.B(gsRAIsUse, isUse) {
+			continue
+		}
+		t.B(gsRATwoAddr, ins.op == 's')
+		if _, seen := firstPos[ins.arg]; !seen {
+			firstPos[ins.arg] = pos
+			order = append(order, ins.arg)
+		}
+		lastPos[ins.arg] = pos
+	}
+	intervals := make([]interval, 0, len(order))
+	for _, v := range order {
+		intervals = append(intervals, interval{vreg: v, start: firstPos[v], end: lastPos[v]})
+	}
+	// order is already by increasing start position (first definition).
+
+	active := make([]interval, 0, numRegs)
+	free := numRegs
+	spills := 0
+	for i := 0; t.B(gsRAScanMore, i < len(intervals)); i++ {
+		cur := intervals[i]
+		// Expire old intervals.
+		kept := active[:0]
+		for j := 0; t.B(gsRAActiveMore, j < len(active)); j++ {
+			if t.B(gsRAExpired, active[j].end < cur.start) {
+				free++
+				continue
+			}
+			kept = append(kept, active[j])
+		}
+		active = kept
+		if t.B(gsRAHaveFree, free > 0) {
+			free--
+			active = append(active, cur)
+			continue
+		}
+		// Spill: evict the interval with the furthest end if the current
+		// one ends sooner.
+		furthest := 0
+		for j := 1; j < len(active); j++ {
+			if active[j].end > active[furthest].end {
+				furthest = j
+			}
+		}
+		if t.B(gsRASpillLast, len(active) > 0 && active[furthest].end > cur.end) {
+			active[furthest] = cur
+		}
+		spills++
+	}
+	return spills
+}
+
+// gccSpecs mirrors the paper's 24 gcc input files; targets are the paper's
+// dynamic branch counts scaled /1000, and each input gets its own seed and
+// program-shape parameters so the inputs genuinely differ.
+func gccSpecs() []Spec {
+	type in struct {
+		name   string
+		target int64
+		p      gccParams
+	}
+	inputs := []in{
+		{"amptjp.i", 194467, gccParams{stmts: 60, exprDepth: 4, idents: 40, constBias: 0.45, ifShare: 0.25, loopShare: 0.10}},
+		{"c-decl-s.i", 194488, gccParams{stmts: 64, exprDepth: 3, idents: 60, constBias: 0.40, ifShare: 0.30, loopShare: 0.08}},
+		{"cccp.i", 190139, gccParams{stmts: 56, exprDepth: 5, idents: 30, constBias: 0.50, ifShare: 0.22, loopShare: 0.12}},
+		{"cp-decl.i", 217997, gccParams{stmts: 70, exprDepth: 4, idents: 55, constBias: 0.38, ifShare: 0.28, loopShare: 0.09}},
+		{"dbxout.i", 24945, gccParams{stmts: 40, exprDepth: 3, idents: 25, constBias: 0.55, ifShare: 0.20, loopShare: 0.10}},
+		{"emit-rtl.i", 25378, gccParams{stmts: 44, exprDepth: 3, idents: 35, constBias: 0.42, ifShare: 0.26, loopShare: 0.07}},
+		{"explow.i", 36513, gccParams{stmts: 36, exprDepth: 5, idents: 20, constBias: 0.60, ifShare: 0.18, loopShare: 0.14}},
+		{"expr.i", 153982, gccParams{stmts: 66, exprDepth: 6, idents: 45, constBias: 0.35, ifShare: 0.24, loopShare: 0.11}},
+		{"gcc.i", 30394, gccParams{stmts: 42, exprDepth: 4, idents: 30, constBias: 0.48, ifShare: 0.23, loopShare: 0.10}},
+		{"genoutput.i", 12971, gccParams{stmts: 30, exprDepth: 3, idents: 18, constBias: 0.52, ifShare: 0.21, loopShare: 0.08}},
+		{"genrecog.i", 18202, gccParams{stmts: 34, exprDepth: 4, idents: 22, constBias: 0.47, ifShare: 0.27, loopShare: 0.09}},
+		{"insn-emit.i", 20774, gccParams{stmts: 38, exprDepth: 3, idents: 28, constBias: 0.58, ifShare: 0.19, loopShare: 0.06}},
+		{"insn-recog.i", 85447, gccParams{stmts: 52, exprDepth: 5, idents: 38, constBias: 0.44, ifShare: 0.29, loopShare: 0.10}},
+		{"integrate.i", 33398, gccParams{stmts: 40, exprDepth: 4, idents: 32, constBias: 0.41, ifShare: 0.25, loopShare: 0.12}},
+		{"jump.i", 23142, gccParams{stmts: 36, exprDepth: 4, idents: 26, constBias: 0.49, ifShare: 0.31, loopShare: 0.08}},
+		{"print-tree.i", 25996, gccParams{stmts: 38, exprDepth: 5, idents: 24, constBias: 0.46, ifShare: 0.22, loopShare: 0.11}},
+		{"protoize.i", 76482, gccParams{stmts: 50, exprDepth: 4, idents: 42, constBias: 0.43, ifShare: 0.24, loopShare: 0.09}},
+		{"recog.i", 43592, gccParams{stmts: 44, exprDepth: 4, idents: 30, constBias: 0.51, ifShare: 0.26, loopShare: 0.10}},
+		{"regclass.i", 18260, gccParams{stmts: 32, exprDepth: 3, idents: 20, constBias: 0.54, ifShare: 0.20, loopShare: 0.07}},
+		{"reload1.i", 138706, gccParams{stmts: 62, exprDepth: 5, idents: 48, constBias: 0.39, ifShare: 0.27, loopShare: 0.11}},
+		{"stmt-protoize.i", 153772, gccParams{stmts: 64, exprDepth: 4, idents: 50, constBias: 0.37, ifShare: 0.28, loopShare: 0.10}},
+		{"stmt.i", 82471, gccParams{stmts: 52, exprDepth: 5, idents: 36, constBias: 0.45, ifShare: 0.23, loopShare: 0.12}},
+		{"toplev.i", 65825, gccParams{stmts: 48, exprDepth: 4, idents: 34, constBias: 0.50, ifShare: 0.21, loopShare: 0.09}},
+		{"varasm.i", 37656, gccParams{stmts: 42, exprDepth: 3, idents: 28, constBias: 0.53, ifShare: 0.25, loopShare: 0.08}},
+	}
+	specs := make([]Spec, 0, len(inputs))
+	for i, in := range inputs {
+		specs = append(specs, Spec{
+			Bench:  "gcc",
+			Input:  in.name,
+			Target: in.target,
+			Seed:   0x6CC_0000 + uint64(i)*7919,
+			run:    gccRun(in.p),
+		})
+	}
+	return specs
+}

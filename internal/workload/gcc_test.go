@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"testing"
+
+	"btr/internal/trace"
+)
+
+func nullTracer() *T {
+	return &T{sink: trace.SinkFunc(func(uint64, bool) {})}
+}
+
+func TestGccLexerTokens(t *testing.T) {
+	tr := nullTracer()
+	toks := gccLex(tr, []byte("let ab = 12 + x; # comment\nif (a < 3) { print a; }"))
+	kinds := make([]int, 0, len(toks))
+	for _, tok := range toks {
+		kinds = append(kinds, tok.kind)
+	}
+	want := []int{tkLet, tkIdent, tkAssign, tkNum, tkPlus, tkIdent, tkSemi,
+		tkIf, tkLParen, tkIdent, tkLess, tkNum, tkRParen,
+		tkLBrace, tkPrint, tkIdent, tkSemi, tkRBrace, tkEOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(kinds), len(want), kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d: got %d want %d", i, kinds[i], want[i])
+		}
+	}
+	if toks[3].val != 12 {
+		t.Fatalf("number literal parsed as %d", toks[3].val)
+	}
+}
+
+func TestGccConstantFolding(t *testing.T) {
+	tr := nullTracer()
+	// (2 + 3) * 4 must fold to 20.
+	toks := gccLex(tr, []byte("let a = (2 + 3) * 4;"))
+	prog := gccParse(tr, toks)
+	if len(prog) != 1 || prog[0].op != 'L' {
+		t.Fatalf("parse shape: %+v", prog)
+	}
+	folded := gccFold(tr, prog[0])
+	if folded.left == nil || folded.left.op != 'n' || folded.left.val != 20 {
+		t.Fatalf("folded expression: %+v", folded.left)
+	}
+}
+
+func TestGccFoldDivByZeroGuard(t *testing.T) {
+	tr := nullTracer()
+	toks := gccLex(tr, []byte("let a = 7 / 0;"))
+	prog := gccParse(tr, toks)
+	folded := gccFold(tr, prog[0])
+	// Division by zero folds to 0 (guarded), not a panic.
+	if folded.left.op != 'n' || folded.left.val != 0 {
+		t.Fatalf("div-by-zero fold: %+v", folded.left)
+	}
+}
+
+func TestGccRegAlloc(t *testing.T) {
+	tr := nullTracer()
+	// Six overlapping loads with 3 registers: must report spills but not
+	// panic, and with ample registers must report none.
+	var code []gccInstr
+	for v := int64(0); v < 6; v++ {
+		code = append(code, gccInstr{op: 'l', arg: v})
+	}
+	for v := int64(0); v < 6; v++ {
+		code = append(code, gccInstr{op: 's', arg: v})
+	}
+	if spills := gccRegAlloc(tr, code, 3); spills == 0 {
+		t.Fatal("expected spills with 6 live intervals over 3 registers")
+	}
+	if spills := gccRegAlloc(tr, code, 8); spills != 0 {
+		t.Fatalf("expected no spills with 8 registers, got %d", spills)
+	}
+	if spills := gccRegAlloc(tr, nil, 4); spills != 0 {
+		t.Fatalf("empty code spilled %d", spills)
+	}
+}
+
+func TestGccGenEmitsCode(t *testing.T) {
+	tr := nullTracer()
+	toks := gccLex(tr, []byte("let a = 1 + b; print a;"))
+	prog := gccParse(tr, toks)
+	var code []gccInstr
+	for _, n := range prog {
+		code = gccGen(tr, n, code)
+	}
+	if len(code) < 5 {
+		t.Fatalf("generated only %d instructions", len(code))
+	}
+	// Last instruction of a print statement is 'p'.
+	if code[len(code)-1].op != 'p' {
+		t.Fatalf("last op %c", code[len(code)-1].op)
+	}
+}

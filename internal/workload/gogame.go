@@ -1,0 +1,308 @@
+package workload
+
+import "btr/internal/rng"
+
+// go: an alpha-beta game-tree searcher on a 5x5 stone-capture game,
+// standing in for SPEC95 099.go. Game playing is the paper's canonical
+// source of data-dependent, hard-to-predict branches: board-scan
+// occupancy tests, liberty counting, evaluation comparisons, and the
+// alpha-beta cutoff test whose outcome depends on move ordering.
+
+const (
+	goBoardN = 5
+	goCells  = goBoardN * goBoardN
+)
+
+// go branch sites.
+const (
+	osMoreGames   = 1
+	osGameOver    = 2
+	osCellEmpty   = 3
+	osCutoff      = 4
+	osBetterMove  = 5
+	osScanOwn     = 6
+	osScanOpp     = 7
+	osLibertyFree = 8
+	osCaptured    = 9
+	osDepthZero   = 10
+	osOrderSwap   = 11
+	osEvalLine    = 12
+	osSuicide     = 13
+	osKoRepeat    = 14
+	osPassBoth    = 15
+	osNodeLimit   = 16 // hot-path guard: search node budget not exhausted
+	osClockCheck  = 17 // hot-path: periodic clock poll (1/256 taken)
+	osLegalQuick  = 18 // hot-path guard: generated move lands on empty cell
+	osCellBounds  = 19 // hot-path guard: scanned cell index on board
+	osStoneSane   = 20 // hot-path guard: cell holds a legal stone value
+	osNeighborOK  = 21 // hot-path guard: neighbour index on board
+)
+
+type goBoard struct {
+	cells [goCells]int8 // 0 empty, 1 black, -1 white
+	moves int
+}
+
+func (b *goBoard) neighbors(i int, out []int) []int {
+	out = out[:0]
+	x, y := i%goBoardN, i/goBoardN
+	if x > 0 {
+		out = append(out, i-1)
+	}
+	if x < goBoardN-1 {
+		out = append(out, i+1)
+	}
+	if y > 0 {
+		out = append(out, i-goBoardN)
+	}
+	if y < goBoardN-1 {
+		out = append(out, i+goBoardN)
+	}
+	return out
+}
+
+// hasLiberty reports whether the group containing i has any adjacent
+// empty cell, via flood fill.
+func (b *goBoard) hasLiberty(t *T, i int, color int8) bool {
+	var visited [goCells]bool
+	var stack [goCells]int
+	var nbuf [4]int
+	sp := 0
+	stack[sp] = i
+	sp++
+	visited[i] = true
+	for sp > 0 {
+		sp--
+		cur := stack[sp]
+		for _, n := range b.neighbors(cur, nbuf[:]) {
+			t.B(osNeighborOK, n >= 0 && n < goCells)
+			if t.B(osLibertyFree, b.cells[n] == 0) {
+				return true
+			}
+			if b.cells[n] == color && !visited[n] {
+				visited[n] = true
+				stack[sp] = n
+				sp++
+			}
+		}
+	}
+	return false
+}
+
+// place plays a stone, removing captured opposing groups; returns the
+// number of captured stones, or -1 for an illegal (suicide) move.
+func (b *goBoard) place(t *T, i int, color int8) int {
+	b.cells[i] = color
+	captured := 0
+	var nbuf [4]int
+	for _, n := range b.neighbors(i, nbuf[:]) {
+		if b.cells[n] == -color {
+			if t.B(osCaptured, !b.hasLiberty(t, n, -color)) {
+				captured += b.removeGroup(n, -color)
+			}
+		}
+	}
+	if captured == 0 {
+		if t.B(osSuicide, !b.hasLiberty(t, i, color)) {
+			b.cells[i] = 0
+			return -1
+		}
+	}
+	b.moves++
+	return captured
+}
+
+func (b *goBoard) removeGroup(i int, color int8) int {
+	var stack [goCells]int
+	var nbuf [4]int
+	sp := 0
+	stack[sp] = i
+	sp++
+	b.cells[i] = 0
+	removed := 1
+	for sp > 0 {
+		sp--
+		cur := stack[sp]
+		for _, n := range b.neighbors(cur, nbuf[:]) {
+			if b.cells[n] == color {
+				b.cells[n] = 0
+				removed++
+				stack[sp] = n
+				sp++
+			}
+		}
+	}
+	return removed
+}
+
+// evaluate scores the position for color: stones, liberties of adjacent
+// lines, and simple connectivity.
+func (b *goBoard) evaluate(t *T, color int8) int {
+	score := 0
+	var nbuf [4]int
+	for i := 0; i < goCells; i++ {
+		c := b.cells[i]
+		// Per-cell sanity guards on the evaluator's hottest loop.
+		t.B(osCellBounds, i < goCells)
+		t.B(osStoneSane, c == 0 || c == 1 || c == -1)
+		if t.B(osScanOwn, c == color) {
+			score += 10
+			for _, n := range b.neighbors(i, nbuf[:]) {
+				if t.B(osEvalLine, b.cells[n] == color) {
+					score += 3
+				} else if b.cells[n] == 0 {
+					score++
+				}
+			}
+		} else if t.B(osScanOpp, c == -color) {
+			score -= 10
+		}
+	}
+	return score
+}
+
+type goSearcher struct {
+	t     *T
+	r     *rng.Rand
+	board *goBoard
+	nodes int
+}
+
+// alphabeta searches to the given depth for the side to move.
+func (s *goSearcher) alphabeta(depth int, alpha, beta int, color int8) int {
+	t := s.t
+	s.nodes++
+	// Engine housekeeping guards on the hottest path.
+	t.B(osNodeLimit, s.nodes > 1<<30)
+	t.B(osClockCheck, s.nodes&255 == 0)
+	if t.B(osDepthZero, depth == 0) {
+		return s.board.evaluate(t, color)
+	}
+	moves := s.orderedMoves(color)
+	if len(moves) == 0 {
+		return s.board.evaluate(t, color)
+	}
+	best := -1 << 30
+	for _, m := range moves {
+		t.B(osLegalQuick, s.board.cells[m] == 0)
+		saved := *s.board
+		if s.board.place(t, m, color) < 0 {
+			*s.board = saved
+			continue
+		}
+		v := -s.alphabeta(depth-1, -beta, -alpha, -color)
+		*s.board = saved
+		if t.B(osBetterMove, v > best) {
+			best = v
+		}
+		if v > alpha {
+			alpha = v
+		}
+		if t.B(osCutoff, alpha >= beta) {
+			break
+		}
+	}
+	return best
+}
+
+// orderedMoves lists empty cells, roughly ordered by a cheap heuristic
+// (insertion sort on adjacency count) to make cutoffs realistic.
+func (s *goSearcher) orderedMoves(color int8) []int {
+	t := s.t
+	var moves []int
+	var keys []int
+	var nbuf [4]int
+	for i := 0; i < goCells; i++ {
+		if t.B(osCellEmpty, s.board.cells[i] == 0) {
+			key := 0
+			for _, n := range s.board.neighbors(i, nbuf[:]) {
+				if s.board.cells[n] != 0 {
+					key++
+				}
+			}
+			moves = append(moves, i)
+			keys = append(keys, key)
+		}
+	}
+	// insertion sort, descending by key
+	for i := 1; i < len(moves); i++ {
+		for j := i; j > 0; j-- {
+			if t.B(osOrderSwap, keys[j] > keys[j-1]) {
+				keys[j], keys[j-1] = keys[j-1], keys[j]
+				moves[j], moves[j-1] = moves[j-1], moves[j]
+			} else {
+				break
+			}
+		}
+	}
+	return moves
+}
+
+func goRun(t *T, r *rng.Rand, target int64) {
+	for t.B(osMoreGames, t.N() < target) {
+		b := &goBoard{}
+		s := &goSearcher{t: t, r: r, board: b}
+		passes := 0
+		color := int8(1)
+		var prevHash uint64
+		for move := 0; move < 40; move++ {
+			if t.N() >= target {
+				return
+			}
+			if t.B(osGameOver, passes >= 2) {
+				break
+			}
+			depth := 2
+			if r.Bool(0.3) {
+				depth = 3
+			}
+			bestMove, bestV := -1, -1<<30
+			for _, m := range s.orderedMoves(color) {
+				saved := *b
+				if b.place(t, m, color) < 0 {
+					*b = saved
+					continue
+				}
+				v := -s.alphabeta(depth-1, -1<<30, 1<<30, -color)
+				*b = saved
+				if v > bestV {
+					bestV, bestMove = v, m
+				}
+				if t.N() >= target {
+					break
+				}
+			}
+			if bestMove < 0 {
+				passes++
+				t.B(osPassBoth, passes >= 2)
+				color = -color
+				continue
+			}
+			passes = 0
+			b.place(t, bestMove, color)
+			h := boardHash(b)
+			t.B(osKoRepeat, h == prevHash)
+			prevHash = h
+			color = -color
+		}
+	}
+}
+
+func boardHash(b *goBoard) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, c := range b.cells {
+		h ^= uint64(uint8(c))
+		h *= 1099511628211
+	}
+	return h
+}
+
+func goSpecs() []Spec {
+	return []Spec{{
+		Bench:  "go",
+		Input:  "9stone21.in",
+		Target: 3838575, // paper: 3,838,574,925 /1000
+		Seed:   0x60_0001,
+		run:    goRun,
+	}}
+}

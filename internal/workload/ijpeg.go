@@ -1,0 +1,280 @@
+package workload
+
+import "btr/internal/rng"
+
+// ijpeg: an 8x8-block image coder standing in for SPEC95 132.ijpeg.
+// It synthesises an image with per-input statistics, then for each block
+// runs a separable integer DCT approximation, quantisation, zig-zag
+// run-length encoding and a bit-serial entropy stage, and finally the
+// inverse path with an error check. Image codecs contribute the counted
+// loops (high-taken, low-transition branches), zero-run guards whose bias
+// tracks image smoothness, bit-value branches near 50%, and a strict
+// even/odd double-buffer alternator — the transition-class-10 population
+// the paper highlights.
+
+// ijpeg branch sites.
+const (
+	jsMoreBlocks   = 1
+	jsRowLoop      = 2
+	jsColLoop      = 3
+	jsCoefZero     = 4
+	jsRunExtend    = 5
+	jsBitSet       = 6
+	jsBufParity    = 7 // double-buffer flip: perfect alternator
+	jsClampHigh    = 8
+	jsClampLow     = 9
+	jsEdgePixel    = 10
+	jsSmoothPatch  = 11
+	jsEOBEarly     = 12
+	jsErrLarge     = 13
+	jsDCPredPos    = 14
+	jsScanMore     = 15
+	jsCoefClip     = 16 // hot-path guard: quantised coefficient in range
+	jsPixelRange   = 17 // hot-path guard: reconstructed pixel plausible
+	jsBlockAligned = 18 // hot-path guard: block origin inside image
+)
+
+// ijpegParams controls the synthetic image statistics per input.
+type ijpegParams struct {
+	width, height int
+	noise         int     // amplitude of white noise
+	edgeProb      float64 // probability a region boundary falls on a block
+	smoothness    float64 // probability a block is a smooth gradient
+}
+
+var zigzag8 = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+var quant8 = [64]int32{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+func ijpegRun(p ijpegParams) func(t *T, r *rng.Rand, target int64) {
+	return func(t *T, r *rng.Rand, target int64) {
+		blocksX := p.width / 8
+		blocksY := p.height / 8
+		var block, coefs, recon [64]int32
+		blockIndex := 0
+		prevDC := int32(0)
+		for t.N() < target {
+			img := synthesizeImage(t, r, p, target)
+			for by := 0; t.B(jsScanMore, by < blocksY); by++ {
+				for bx := 0; bx < blocksX; bx++ {
+					// Double-buffer parity: alternates strictly.
+					t.B(jsBufParity, blockIndex&1 == 0)
+					t.B(jsBlockAligned, bx*8+8 <= p.width && by*8+8 <= p.height)
+					blockIndex++
+					loadBlock(t, img, p.width, bx, by, &block)
+					fdct8(t, &block, &coefs)
+					nz := quantize(t, &coefs)
+					prevDC = rleEncode(t, &coefs, prevDC, nz)
+					dequantize(&coefs)
+					idct8(t, &coefs, &recon)
+					checkError(t, &block, &recon)
+					if t.N() >= target {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// synthesizeImage builds one frame: smooth gradients, occasional hard
+// edges, and input-dependent noise. Rows beyond the target budget are
+// left as flat base color so tiny-scale runs still reach the block stage.
+func synthesizeImage(t *T, r *rng.Rand, p ijpegParams, target int64) []int32 {
+	img := make([]int32, p.width*p.height)
+	base := int32(r.Intn(128) + 64)
+	for i := range img {
+		img[i] = base
+	}
+	for y := 0; y < p.height; y++ {
+		if t.N() >= target/2 {
+			break
+		}
+		rowEdge := t.B(jsEdgePixel, r.Bool(p.edgeProb))
+		for x := 0; x < p.width; x++ {
+			v := base + int32(x/4) + int32(y/8)
+			if rowEdge && x > p.width/2 {
+				v += 90
+			}
+			if !t.B(jsSmoothPatch, r.Bool(p.smoothness)) {
+				v += int32(r.Intn(2*p.noise+1) - p.noise)
+			}
+			if t.B(jsClampHigh, v > 255) {
+				v = 255
+			} else if t.B(jsClampLow, v < 0) {
+				v = 0
+			}
+			img[y*p.width+x] = v
+		}
+	}
+	return img
+}
+
+func loadBlock(t *T, img []int32, width, bx, by int, block *[64]int32) {
+	for y := 0; t.B(jsRowLoop, y < 8); y++ {
+		row := (by*8 + y) * width
+		for x := 0; x < 8; x++ {
+			block[y*8+x] = img[row+bx*8+x] - 128
+		}
+	}
+}
+
+// fdct8 is a separable integer approximation of the 8x8 DCT: enough
+// arithmetic structure to exercise the counted loops without floating
+// point.
+func fdct8(t *T, in, out *[64]int32) {
+	var tmp [64]int32
+	for y := 0; y < 8; y++ {
+		for u := 0; t.B(jsColLoop, u < 8); u++ {
+			var acc int32
+			for x := 0; x < 8; x++ {
+				acc += in[y*8+x] * dctCos[u*8+x]
+			}
+			tmp[y*8+u] = acc >> 7
+		}
+	}
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			var acc int32
+			for y := 0; y < 8; y++ {
+				acc += tmp[y*8+u] * dctCos[v*8+y]
+			}
+			out[v*8+u] = acc >> 9
+		}
+	}
+}
+
+// dctCos holds cos((2x+1)*u*pi/16) scaled by 128, precomputed as integers.
+var dctCos = [64]int32{
+	128, 128, 128, 128, 128, 128, 128, 128,
+	125, 106, 71, 25, -25, -71, -106, -125,
+	118, 49, -49, -118, -118, -49, 49, 118,
+	106, -25, -125, -71, 71, 125, 25, -106,
+	90, -90, -90, 90, 90, -90, -90, 90,
+	71, -125, 25, 106, -106, -25, 125, -71,
+	49, -118, 118, -49, -49, 118, -118, 49,
+	25, -71, 106, -125, 125, -106, 71, -25,
+}
+
+func quantize(t *T, coefs *[64]int32) int {
+	nonzero := 0
+	for i := 0; i < 64; i++ {
+		q := coefs[i] / quant8[i]
+		t.B(jsCoefClip, q > 2047 || q < -2048) // saturation guard, never fires
+		coefs[i] = q
+		if !t.B(jsCoefZero, q == 0) {
+			nonzero++
+		}
+	}
+	return nonzero
+}
+
+func dequantize(coefs *[64]int32) {
+	for i := 0; i < 64; i++ {
+		coefs[i] *= quant8[i]
+	}
+}
+
+// rleEncode walks the zig-zag order emitting (run, level) pairs and
+// bit-serialises the levels; returns the new DC predictor.
+func rleEncode(t *T, coefs *[64]int32, prevDC int32, nonzero int) int32 {
+	dc := coefs[0]
+	diff := dc - prevDC
+	t.B(jsDCPredPos, diff >= 0)
+	run := 0
+	emitted := 0
+	for i := 1; i < 64; i++ {
+		c := coefs[zigzag8[i]]
+		if t.B(jsRunExtend, c == 0) {
+			run++
+			continue
+		}
+		// bit-serialise the magnitude: data-dependent ~50% bit tests
+		mag := c
+		if mag < 0 {
+			mag = -mag
+		}
+		for mag > 0 {
+			t.B(jsBitSet, mag&1 == 1)
+			mag >>= 1
+		}
+		run = 0
+		emitted++
+		if t.B(jsEOBEarly, emitted >= nonzero) {
+			break
+		}
+	}
+	return dc
+}
+
+func idct8(t *T, in, out *[64]int32) {
+	var tmp [64]int32
+	for v := 0; v < 8; v++ {
+		for x := 0; x < 8; x++ {
+			var acc int32
+			for u := 0; u < 8; u++ {
+				acc += in[v*8+u] * dctCos[u*8+x]
+			}
+			tmp[v*8+x] = acc >> 9
+		}
+	}
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			var acc int32
+			for v := 0; v < 8; v++ {
+				acc += tmp[v*8+x] * dctCos[v*8+y]
+			}
+			out[y*8+x] = acc >> 7
+		}
+	}
+}
+
+func checkError(t *T, orig, recon *[64]int32) int {
+	large := 0
+	for i := 0; i < 64; i++ {
+		t.B(jsPixelRange, recon[i] >= -512 && recon[i] <= 512)
+		d := orig[i] - recon[i]
+		if d < 0 {
+			d = -d
+		}
+		if t.B(jsErrLarge, d > 40) {
+			large++
+		}
+	}
+	return large
+}
+
+func ijpegSpecs() []Spec {
+	return []Spec{
+		{
+			Bench: "ijpeg", Input: "penguin.ppm", Target: 1548836, Seed: 0x1_3000,
+			run: ijpegRun(ijpegParams{width: 128, height: 64, noise: 4, edgeProb: 0.05, smoothness: 0.85}),
+		},
+		{
+			Bench: "ijpeg", Input: "specmun.ppm", Target: 1392275, Seed: 0x1_3001,
+			run: ijpegRun(ijpegParams{width: 128, height: 64, noise: 22, edgeProb: 0.15, smoothness: 0.35}),
+		},
+		{
+			Bench: "ijpeg", Input: "vigo.ppm", Target: 1627642, Seed: 0x1_3002,
+			run: ijpegRun(ijpegParams{width: 128, height: 64, noise: 10, edgeProb: 0.30, smoothness: 0.60}),
+		},
+	}
+}

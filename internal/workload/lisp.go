@@ -1,0 +1,510 @@
+package workload
+
+import "btr/internal/rng"
+
+// li: a small Lisp interpreter standing in for SPEC95 130.li. It reads
+// generated s-expression scripts, evaluates them (special forms, builtin
+// arithmetic and list operations, user-defined recursive functions), and
+// runs a mark-and-sweep collector over a cons-cell arena when it fills.
+// Interpreters are dominated by type-dispatch chains, environment-lookup
+// scans, recursion-depth guards, and GC mark/sweep tests whose bias tracks
+// heap liveness.
+
+// li branch sites.
+const (
+	lsMoreScripts  = 1
+	lsReadMore     = 2
+	lsReadIsOpen   = 3
+	lsReadIsClose  = 4
+	lsReadIsDigit  = 5
+	lsReadIsSym    = 6
+	lsEvalIsNum    = 7
+	lsEvalIsSym    = 8
+	lsEvalIsNil    = 9
+	lsFormIsIf     = 10
+	lsFormIsQuote  = 11
+	lsFormIsDef    = 12
+	lsFormIsLambda = 13
+	lsEnvScan      = 14
+	lsEnvFound     = 15
+	lsCondTrue     = 16
+	lsArgsMore     = 17
+	lsApplyPrim    = 18
+	lsPrimArith    = 19
+	lsPrimCmpLt    = 20
+	lsPrimIsNull   = 21
+	lsPrimIsCons   = 22
+	lsGCNeeded     = 23
+	lsGCMarkCons   = 24
+	lsGCSweepLive  = 25
+	lsListWalk     = 26
+	lsRecurseDeep  = 27
+	lsPrimIsCar    = 28
+	lsTailNil      = 29
+	lsStackGuard   = 30 // hot-path guard: evaluator stack headroom
+	lsCellValid    = 31 // hot-path guard: cons index within arena
+	lsTagValid     = 32 // hot-path guard: value tag well formed
+)
+
+// Lisp values are tagged indices into the interpreter's arenas: negative
+// values encode small ints, 0 is nil, positive even = cons index*2+base,
+// positive odd ranges encode symbols. Using integers keeps the heap
+// explicit so the GC has something real to do.
+type lval int64
+
+const (
+	lNil lval = 0
+	// symbol values: symBase + id
+	symBase  lval = 1 << 40
+	consBase lval = 1 << 20
+	numBase  lval = 1 << 50 // numbers: numBase + v (v may be negative)
+)
+
+func mkNum(v int64) lval  { return numBase + lval(v) }
+func isNum(v lval) bool   { return v >= numBase-(1<<30) && v < numBase+(1<<40) }
+func numVal(v lval) int64 { return int64(v - numBase) }
+func isSym(v lval) bool   { return v >= symBase && v < numBase-(1<<30) }
+func isCons(v lval) bool  { return v >= consBase && v < symBase }
+
+type lispHeap struct {
+	car, cdr []lval
+	marked   []bool
+	free     []int32
+	t        *T
+}
+
+func newLispHeap(t *T, cells int) *lispHeap {
+	h := &lispHeap{
+		car:    make([]lval, cells),
+		cdr:    make([]lval, cells),
+		marked: make([]bool, cells),
+		t:      t,
+	}
+	for i := cells - 1; i >= 0; i-- {
+		h.free = append(h.free, int32(i))
+	}
+	return h
+}
+
+func (h *lispHeap) cons(car, cdr lval, roots []lval) lval {
+	if h.t.B(lsGCNeeded, len(h.free) == 0) {
+		h.collect(roots)
+		if len(h.free) == 0 {
+			// Heap genuinely exhausted: drop everything unreachable from
+			// nothing (full reset) to keep the interpreter running.
+			for i := range h.marked {
+				h.free = append(h.free, int32(i))
+			}
+		}
+	}
+	idx := h.free[len(h.free)-1]
+	h.free = h.free[:len(h.free)-1]
+	h.t.B(lsCellValid, int(idx) < len(h.car))
+	h.car[idx] = car
+	h.cdr[idx] = cdr
+	return consBase + lval(idx)
+}
+
+func (h *lispHeap) carOf(v lval) lval { return h.car[v-consBase] }
+func (h *lispHeap) cdrOf(v lval) lval { return h.cdr[v-consBase] }
+
+func (h *lispHeap) mark(v lval) {
+	for h.t.B(lsGCMarkCons, isCons(v)) {
+		idx := v - consBase
+		if h.marked[idx] {
+			return
+		}
+		h.marked[idx] = true
+		h.mark(h.car[idx])
+		v = h.cdr[idx] // iterate down the cdr chain
+	}
+}
+
+func (h *lispHeap) collect(roots []lval) {
+	for i := range h.marked {
+		h.marked[i] = false
+	}
+	for _, r := range roots {
+		h.mark(r)
+	}
+	h.free = h.free[:0]
+	for i := len(h.marked) - 1; i >= 0; i-- {
+		if !h.t.B(lsGCSweepLive, h.marked[i]) {
+			h.free = append(h.free, int32(i))
+		}
+	}
+}
+
+// lispEnv is an association list of (symbol id → value), scanned linearly
+// like the original xlisp's shallow binding.
+type lispEnv struct {
+	syms []int32
+	vals []lval
+}
+
+func (e *lispEnv) lookup(t *T, sym int32) (lval, bool) {
+	for i := len(e.syms) - 1; t.B(lsEnvScan, i >= 0); i-- {
+		if t.B(lsEnvFound, e.syms[i] == sym) {
+			return e.vals[i], true
+		}
+	}
+	return lNil, false
+}
+
+func (e *lispEnv) bind(sym int32, v lval) {
+	e.syms = append(e.syms, sym)
+	e.vals = append(e.vals, v)
+}
+
+func (e *lispEnv) popTo(n int) {
+	e.syms = e.syms[:n]
+	e.vals = e.vals[:n]
+}
+
+// Symbol ids for builtins and special forms.
+const (
+	symIf = iota
+	symQuote
+	symDefine
+	symLambda
+	symPlus
+	symMinus
+	symTimes
+	symLess
+	symCar
+	symCdr
+	symCons
+	symNullQ
+	symConsQ
+	symUser // user symbols start here
+)
+
+type lispInterp struct {
+	t     *T
+	heap  *lispHeap
+	env   lispEnv
+	depth int
+	// defs maps a user function symbol to (params . body) cons.
+	defs  map[int32]lval
+	roots []lval
+}
+
+func (in *lispInterp) eval(expr lval) lval {
+	t := in.t
+	in.depth++
+	defer func() { in.depth-- }()
+	if t.B(lsRecurseDeep, in.depth > 200) {
+		return mkNum(0)
+	}
+	// Evaluator hot-path sanity guards (xlisp's NIL/type checks).
+	t.B(lsStackGuard, in.depth < 195)
+	t.B(lsTagValid, expr == lNil || isNum(expr) || isSym(expr) || isCons(expr))
+	if t.B(lsEvalIsSym, isSym(expr)) {
+		sym := int32(expr - symBase)
+		if v, ok := in.env.lookup(t, sym); ok {
+			return v
+		}
+		return lNil
+	}
+	if t.B(lsEvalIsNum, isNum(expr)) {
+		return expr
+	}
+	if t.B(lsEvalIsNil, expr == lNil) {
+		return lNil
+	}
+	// A cons: (op args...)
+	op := in.heap.carOf(expr)
+	args := in.heap.cdrOf(expr)
+	if isSym(op) {
+		sym := int32(op - symBase)
+		if t.B(lsFormIsIf, sym == symIf) {
+			cond := in.eval(in.heap.carOf(args))
+			truthy := cond != lNil && cond != mkNum(0)
+			rest := in.heap.cdrOf(args)
+			if t.B(lsCondTrue, truthy) {
+				return in.eval(in.heap.carOf(rest))
+			}
+			alt := in.heap.cdrOf(rest)
+			if alt == lNil {
+				return lNil
+			}
+			return in.eval(in.heap.carOf(alt))
+		}
+		if t.B(lsFormIsQuote, sym == symQuote) {
+			return in.heap.carOf(args)
+		}
+		if t.B(lsFormIsDef, sym == symDefine) {
+			// (define (name params...) body)
+			sig := in.heap.carOf(args)
+			name := int32(in.heap.carOf(sig) - symBase)
+			in.defs[name] = in.heap.cons(in.heap.cdrOf(sig), in.heap.cdrOf(args), in.roots)
+			return lNil
+		}
+		t.B(lsFormIsLambda, sym == symLambda) // recognised but scripts use define
+		// Evaluate arguments left to right.
+		var argv [8]lval
+		argc := 0
+		for cur := args; t.B(lsArgsMore, cur != lNil && argc < 8); cur = in.heap.cdrOf(cur) {
+			argv[argc] = in.eval(in.heap.carOf(cur))
+			argc++
+		}
+		if t.B(lsApplyPrim, sym < symUser) {
+			return in.applyPrim(sym, argv[:argc])
+		}
+		// User function: bind params, eval body.
+		def, ok := in.defs[sym]
+		if !ok {
+			return lNil
+		}
+		params := in.heap.carOf(def)
+		body := in.heap.carOf(in.heap.cdrOf(def))
+		mark := len(in.env.syms)
+		i := 0
+		for cur := params; cur != lNil && i < argc; cur = in.heap.cdrOf(cur) {
+			in.env.bind(int32(in.heap.carOf(cur)-symBase), argv[i])
+			i++
+		}
+		v := in.eval(body)
+		in.env.popTo(mark)
+		return v
+	}
+	return lNil
+}
+
+func (in *lispInterp) applyPrim(sym int32, argv []lval) lval {
+	t := in.t
+	a, b := lNil, lNil
+	if len(argv) > 0 {
+		a = argv[0]
+	}
+	if len(argv) > 1 {
+		b = argv[1]
+	}
+	if t.B(lsPrimArith, sym == symPlus || sym == symMinus || sym == symTimes) {
+		av, bv := int64(0), int64(0)
+		if isNum(a) {
+			av = numVal(a)
+		}
+		if isNum(b) {
+			bv = numVal(b)
+		}
+		switch sym {
+		case symPlus:
+			return mkNum(av + bv)
+		case symMinus:
+			return mkNum(av - bv)
+		default:
+			return mkNum(av * bv)
+		}
+	}
+	switch sym {
+	case symLess:
+		if t.B(lsPrimCmpLt, isNum(a) && isNum(b) && numVal(a) < numVal(b)) {
+			return mkNum(1)
+		}
+		return lNil
+	case symCar:
+		if t.B(lsPrimIsCar, isCons(a)) {
+			return in.heap.carOf(a)
+		}
+		return lNil
+	case symCdr:
+		if isCons(a) {
+			return in.heap.cdrOf(a)
+		}
+		return lNil
+	case symCons:
+		return in.heap.cons(a, b, in.roots)
+	case symNullQ:
+		if t.B(lsPrimIsNull, a == lNil) {
+			return mkNum(1)
+		}
+		return lNil
+	case symConsQ:
+		if t.B(lsPrimIsCons, isCons(a)) {
+			return mkNum(1)
+		}
+		return lNil
+	}
+	return lNil
+}
+
+// lispReader parses a script text into heap values.
+type lispReader struct {
+	t    *T
+	heap *lispHeap
+	src  []byte
+	pos  int
+	syms map[string]int32
+	next int32
+}
+
+func (rd *lispReader) intern(s string) lval {
+	if id, ok := rd.syms[s]; ok {
+		return symBase + lval(id)
+	}
+	id := rd.next
+	rd.next++
+	rd.syms[s] = id
+	return symBase + lval(id)
+}
+
+func (rd *lispReader) read() (lval, bool) {
+	t := rd.t
+	for t.B(lsReadMore, rd.pos < len(rd.src)) {
+		c := rd.src[rd.pos]
+		if c == ' ' || c == '\n' {
+			rd.pos++
+			continue
+		}
+		if t.B(lsReadIsOpen, c == '(') {
+			rd.pos++
+			return rd.readList(), true
+		}
+		if t.B(lsReadIsClose, c == ')') {
+			rd.pos++
+			return lNil, false
+		}
+		if t.B(lsReadIsDigit, c >= '0' && c <= '9' || c == '-' && rd.pos+1 < len(rd.src) && rd.src[rd.pos+1] >= '0' && rd.src[rd.pos+1] <= '9') {
+			neg := false
+			if c == '-' {
+				neg = true
+				rd.pos++
+			}
+			var v int64
+			for rd.pos < len(rd.src) && rd.src[rd.pos] >= '0' && rd.src[rd.pos] <= '9' {
+				v = v*10 + int64(rd.src[rd.pos]-'0')
+				rd.pos++
+			}
+			if neg {
+				v = -v
+			}
+			return mkNum(v), true
+		}
+		if t.B(lsReadIsSym, c >= 'a' && c <= 'z' || c == '+' || c == '-' || c == '*' || c == '<' || c == '?') {
+			start := rd.pos
+			for rd.pos < len(rd.src) {
+				c := rd.src[rd.pos]
+				if c == ' ' || c == '(' || c == ')' || c == '\n' {
+					break
+				}
+				rd.pos++
+			}
+			return rd.intern(string(rd.src[start:rd.pos])), true
+		}
+		rd.pos++
+	}
+	return lNil, false
+}
+
+func (rd *lispReader) readList() lval {
+	v, ok := rd.read()
+	if !ok {
+		return lNil
+	}
+	head := rd.heap.cons(v, lNil, nil)
+	tail := head
+	for {
+		v, ok := rd.read()
+		if rd.t.B(lsTailNil, !ok) {
+			return head
+		}
+		cell := rd.heap.cons(v, lNil, nil)
+		rd.heap.cdr[tail-consBase] = cell
+		tail = cell
+	}
+}
+
+// lispScripts are templates instantiated with random parameters; they are
+// the classic xlisp-style recursive list workloads.
+var lispScripts = []string{
+	"(define (app a b) (if (null? a) b (cons (car a) (app (cdr a) b))))",
+	"(define (rev a) (if (null? a) a (app (rev (cdr a)) (cons (car a) (quote ())))))",
+	"(define (len a) (if (null? a) 0 (+ 1 (len (cdr a)))))",
+	"(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))",
+	"(define (tak x y z) (if (< y x) (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y)) z))",
+	"(define (iota n) (if (< n 1) (quote ()) (cons n (iota (- n 1)))))",
+	"(define (summ a) (if (null? a) 0 (+ (car a) (summ (cdr a)))))",
+	"(define (filtpos a) (if (null? a) a (if (< 0 (car a)) (cons (car a) (filtpos (cdr a))) (filtpos (cdr a)))))",
+}
+
+func lispRun(t *T, r *rng.Rand, target int64) {
+	for t.B(lsMoreScripts, t.N() < target) {
+		heap := newLispHeap(t, 1<<14)
+		in := &lispInterp{t: t, heap: heap, defs: make(map[int32]lval)}
+		rd := &lispReader{t: t, heap: heap, syms: make(map[string]int32), next: symUser}
+		// Pre-intern the builtins so their ids match the sym constants
+		// (symIf = 0 .. symConsQ = 12, in declaration order).
+		for i, name := range []string{"if", "quote", "define", "lambda", "+", "-", "*", "<", "car", "cdr", "cons", "null?", "cons?"} {
+			rd.syms[name] = int32(i)
+		}
+		rd.next = symUser
+		var src []byte
+		for _, s := range lispScripts {
+			src = append(src, s...)
+			src = append(src, '\n')
+		}
+		// Calls with input-dependent sizes. The filtpos calls walk literal
+		// lists of random-sign integers, so their sign compares are
+		// genuinely data dependent — the 5/5 population databases and
+		// interpreters contribute in the paper.
+		calls := []string{}
+		for i := 0; i < 8; i++ {
+			n := 6 + r.Intn(10)
+			switch r.Intn(8) {
+			case 0:
+				calls = append(calls, "(fib "+itoa(int64(n))+")")
+			case 1:
+				calls = append(calls, "(len (iota "+itoa(int64(n*4))+"))")
+			case 2:
+				calls = append(calls, "(summ (rev (iota "+itoa(int64(n*3))+")))")
+			case 3:
+				calls = append(calls, "(tak "+itoa(int64(n))+" "+itoa(int64(n/2))+" "+itoa(int64(n/4))+")")
+			case 4:
+				calls = append(calls, "(len (app (iota "+itoa(int64(n))+") (iota "+itoa(int64(n*2))+")))")
+			default:
+				lit := make([]byte, 0, 512)
+				lit = append(lit, "(summ (filtpos (quote ("...)
+				for j := 0; j < n*8; j++ {
+					if r.Bool(0.5) {
+						lit = append(lit, '-')
+					}
+					lit = appendInt(lit, int64(1+r.Intn(99)))
+					lit = append(lit, ' ')
+				}
+				lit = append(lit, "))))"...)
+				calls = append(calls, string(lit))
+			}
+		}
+		for _, c := range calls {
+			src = append(src, c...)
+			src = append(src, '\n')
+		}
+		rd.src = src
+		for {
+			expr, ok := rd.read()
+			if !ok {
+				break
+			}
+			in.roots = append(in.roots, expr)
+			in.eval(expr)
+			if t.N() >= target {
+				return
+			}
+		}
+	}
+}
+
+func itoa(v int64) string {
+	return string(appendInt(nil, v))
+}
+
+func lispSpecs() []Spec {
+	return []Spec{{
+		Bench:  "li",
+		Input:  "ref.lsp",
+		Target: 8493448, // paper: 8,493,447,845 /1000
+		Seed:   0x11_0001,
+		run:    lispRun,
+	}}
+}

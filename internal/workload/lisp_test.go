@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"testing"
+
+	"btr/internal/trace"
+)
+
+// evalScript parses and evaluates a script, returning the value of the
+// final expression.
+func evalScript(t *testing.T, script string) lval {
+	t.Helper()
+	tr := &T{sink: trace.SinkFunc(func(uint64, bool) {})}
+	heap := newLispHeap(tr, 1<<14)
+	in := &lispInterp{t: tr, heap: heap, defs: make(map[int32]lval)}
+	rd := &lispReader{t: tr, heap: heap, syms: make(map[string]int32), next: symUser}
+	for i, name := range []string{"if", "quote", "define", "lambda", "+", "-", "*", "<", "car", "cdr", "cons", "null?", "cons?"} {
+		rd.syms[name] = int32(i)
+	}
+	rd.next = symUser
+	var src []byte
+	for _, s := range lispScripts {
+		src = append(src, s...)
+		src = append(src, '\n')
+	}
+	src = append(src, script...)
+	rd.src = src
+	last := lNil
+	for {
+		expr, ok := rd.read()
+		if !ok {
+			break
+		}
+		in.roots = append(in.roots, expr)
+		last = in.eval(expr)
+	}
+	return last
+}
+
+func TestLispArithmetic(t *testing.T) {
+	if got := evalScript(t, "(+ 2 3)"); got != mkNum(5) {
+		t.Fatalf("(+ 2 3) = %v", got)
+	}
+	if got := evalScript(t, "(* 6 7)"); got != mkNum(42) {
+		t.Fatalf("(* 6 7) = %v", got)
+	}
+	if got := evalScript(t, "(- 10 4)"); got != mkNum(6) {
+		t.Fatalf("(- 10 4) = %v", got)
+	}
+}
+
+func TestLispComparisonAndIf(t *testing.T) {
+	if got := evalScript(t, "(if (< 1 2) 10 20)"); got != mkNum(10) {
+		t.Fatalf("true branch: %v", got)
+	}
+	if got := evalScript(t, "(if (< 2 1) 10 20)"); got != mkNum(20) {
+		t.Fatalf("false branch: %v", got)
+	}
+}
+
+func TestLispFib(t *testing.T) {
+	if got := evalScript(t, "(fib 10)"); got != mkNum(55) {
+		t.Fatalf("(fib 10) = %v, want 55", got)
+	}
+}
+
+func TestLispListOps(t *testing.T) {
+	if got := evalScript(t, "(len (iota 10))"); got != mkNum(10) {
+		t.Fatalf("(len (iota 10)) = %v", got)
+	}
+	if got := evalScript(t, "(summ (iota 10))"); got != mkNum(55) {
+		t.Fatalf("(summ (iota 10)) = %v", got)
+	}
+	if got := evalScript(t, "(summ (rev (iota 10)))"); got != mkNum(55) {
+		t.Fatalf("sum of reversed = %v", got)
+	}
+	if got := evalScript(t, "(len (app (iota 3) (iota 4)))"); got != mkNum(7) {
+		t.Fatalf("append length = %v", got)
+	}
+}
+
+func TestLispFiltpos(t *testing.T) {
+	if got := evalScript(t, "(summ (filtpos (quote (3 -5 2 -7 10))))"); got != mkNum(15) {
+		t.Fatalf("filtpos sum = %v, want 15", got)
+	}
+	if got := evalScript(t, "(len (filtpos (quote (-1 -2 -3))))"); got != mkNum(0) {
+		t.Fatalf("all-negative filtpos length = %v", got)
+	}
+}
+
+func TestLispTak(t *testing.T) {
+	// tak(18,12,6) = 7 with the standard Takeuchi function.
+	if got := evalScript(t, "(tak 18 12 6)"); got != mkNum(7) {
+		t.Fatalf("(tak 18 12 6) = %v, want 7", got)
+	}
+}
+
+func TestLispGCSurvivesPressure(t *testing.T) {
+	// A heap of 256 cells with repeated allocation: the collector must
+	// keep the interpreter running and the final result correct.
+	tr := &T{sink: trace.SinkFunc(func(uint64, bool) {})}
+	heap := newLispHeap(tr, 256)
+	in := &lispInterp{t: tr, heap: heap, defs: make(map[int32]lval)}
+	rd := &lispReader{t: tr, heap: heap, syms: make(map[string]int32), next: symUser}
+	for i, name := range []string{"if", "quote", "define", "lambda", "+", "-", "*", "<", "car", "cdr", "cons", "null?", "cons?"} {
+		rd.syms[name] = int32(i)
+	}
+	rd.next = symUser
+	rd.src = []byte("(define (len a) (if (null? a) 0 (+ 1 (len (cdr a)))))\n" +
+		"(define (iota n) (if (< n 1) (quote ()) (cons n (iota (- n 1)))))\n" +
+		"(len (iota 40))")
+	last := lNil
+	for {
+		expr, ok := rd.read()
+		if !ok {
+			break
+		}
+		in.roots = append(in.roots, expr)
+		last = in.eval(expr)
+	}
+	if last != mkNum(40) {
+		t.Fatalf("under GC pressure (len (iota 40)) = %v, want 40", last)
+	}
+}

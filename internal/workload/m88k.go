@@ -1,0 +1,363 @@
+package workload
+
+import "btr/internal/rng"
+
+// m88ksim: an instruction-set interpreter for a small RISC machine,
+// standing in for SPEC95 124.m88ksim (a Motorola 88100 simulator). The
+// guest machine has 16 registers and a word-addressed memory; guest
+// programs (sieve, sort, memcpy, checksum, string search) are assembled
+// from templates with randomised data. The host interpreter contributes
+// heavily biased guard branches (trap checks, memory bounds) and a
+// direct-mapped "cache" hit test, while each *guest* conditional branch is
+// traced at a site derived from its guest PC — so the guest's own control
+// flow shows up as distinct static branches, exactly as it did for the
+// paper's simulated 88k binaries.
+
+// m88ksim host branch sites.
+const (
+	msMorePrograms = 1
+	msRunning      = 2
+	msBoundsOK     = 3
+	msTrapCheck    = 4
+	msCacheHit     = 5
+	msIsBranchOp   = 6
+	msWriteback    = 7
+	msIsLoadStore  = 8
+	msIllegalOp    = 9  // hot-path guard: opcode decodes legally
+	msPCValid      = 10 // hot-path guard: program counter in text segment
+	msIntOverflow  = 11 // hot-path guard: ALU overflow trap
+)
+
+// Guest branch sites start here; site = msGuestBase + guestPC.
+const msGuestBase = 1000
+
+// Guest ISA.
+const (
+	opHALT = iota
+	opADD  // rd = ra + rb
+	opADDI // rd = ra + imm
+	opSUB
+	opMUL
+	opDIV
+	opLD  // rd = mem[ra + imm]
+	opST  // mem[ra + imm] = rd
+	opBEQ // if ra == rb: pc += imm
+	opBNE
+	opBLT
+	opBGE
+	opJMP // pc += imm
+	opMOD
+	opSHL
+	opAND
+)
+
+type m88kInstr struct {
+	op         uint8
+	rd, ra, rb uint8
+	imm        int32
+}
+
+type m88kCPU struct {
+	regs  [16]int64
+	mem   []int64
+	pc    int
+	cache [64]int32 // direct-mapped tag store over memory words
+}
+
+// m88kStep interprets one instruction; returns false on HALT or fault.
+func (c *m88kCPU) step(t *T, prog []m88kInstr) bool {
+	ins := prog[c.pc]
+	guestSite := uint32(msGuestBase + c.pc)
+	// Decode-stage guards: never-firing traps dominate an interpreter's
+	// dynamic branch mix, exactly as in the real m88ksim.
+	t.B(msIllegalOp, ins.op > opAND)
+	t.B(msPCValid, c.pc >= 0 && c.pc < len(prog))
+	c.pc++
+	if t.B(msIsLoadStore, ins.op == opLD || ins.op == opST) {
+		addr := c.regs[ins.ra] + int64(ins.imm)
+		if !t.B(msBoundsOK, addr >= 0 && addr < int64(len(c.mem))) {
+			return false
+		}
+		line := (addr >> 2) & 63
+		tag := int32(addr >> 8)
+		if !t.B(msCacheHit, c.cache[line] == tag) {
+			c.cache[line] = tag // miss: fill
+		}
+		if ins.op == opLD {
+			c.regs[ins.rd] = c.mem[addr]
+		} else {
+			c.mem[addr] = c.regs[ins.rd]
+		}
+		c.regs[0] = 0
+		return true
+	}
+	if t.B(msIsBranchOp, ins.op >= opBEQ && ins.op <= opJMP) {
+		taken := false
+		switch ins.op {
+		case opBEQ:
+			taken = c.regs[ins.ra] == c.regs[ins.rb]
+		case opBNE:
+			taken = c.regs[ins.ra] != c.regs[ins.rb]
+		case opBLT:
+			taken = c.regs[ins.ra] < c.regs[ins.rb]
+		case opBGE:
+			taken = c.regs[ins.ra] >= c.regs[ins.rb]
+		case opJMP:
+			c.pc += int(ins.imm)
+			return c.pc >= 0 && c.pc < len(prog)
+		}
+		// The guest's conditional branch, traced at its own guest-PC site.
+		if t.B(guestSite, taken) {
+			c.pc += int(ins.imm)
+		}
+		return c.pc >= 0 && c.pc < len(prog)
+	}
+	var v int64
+	a, b := c.regs[ins.ra], c.regs[ins.rb]
+	switch ins.op {
+	case opHALT:
+		return false
+	case opADD:
+		v = a + b
+	case opADDI:
+		v = a + int64(ins.imm)
+	case opSUB:
+		v = a - b
+	case opMUL:
+		v = a * b
+	case opDIV:
+		if t.B(msTrapCheck, b == 0) {
+			return false
+		}
+		v = a / b
+	case opMOD:
+		if t.B(msTrapCheck, b == 0) {
+			return false
+		}
+		v = a % b
+	case opSHL:
+		v = a << uint(b&63)
+	case opAND:
+		v = a & b
+	}
+	t.B(msIntOverflow, v > 1<<60 || v < -(1<<60))
+	if t.B(msWriteback, ins.rd != 0) {
+		c.regs[ins.rd] = v
+	}
+	return true
+}
+
+// Guest program templates. Each returns (program, registers-initialiser).
+// Register conventions: r1..r3 parameters, r15 scratch.
+
+func guestSieve(n int64) ([]m88kInstr, [16]int64) {
+	// Sieve of Eratosthenes over mem[0..n).
+	// r1 = n, r2 = i, r3 = j, r4 = 1 const, r5 = tmp
+	prog := []m88kInstr{
+		{op: opADDI, rd: 4, ra: 0, imm: 1}, // r4 = 1
+		{op: opADDI, rd: 2, ra: 0, imm: 2}, // r2 = i = 2
+		{op: opBGE, ra: 2, rb: 1, imm: 10}, // 2: while i < n ... else halt
+		{op: opLD, rd: 5, ra: 2, imm: 0},   // r5 = mem[i]
+		{op: opBNE, ra: 5, rb: 0, imm: 6},  // composite -> i++ (11)
+		{op: opMUL, rd: 3, ra: 2, rb: 2},   // j = i*i
+		{op: opBGE, ra: 3, rb: 1, imm: 4},  // 6: while j < n
+		{op: opST, rd: 4, ra: 3, imm: 0},   // mem[j] = 1
+		{op: opADD, rd: 3, ra: 3, rb: 2},   // j += i
+		{op: opJMP, imm: -4},               // -> 6
+		{op: opADD, rd: 0, ra: 0, rb: 0},   // nop (branch join)
+		{op: opADDI, rd: 2, ra: 2, imm: 1}, // i++
+		{op: opJMP, imm: -11},              // -> 2
+		{op: opHALT},
+	}
+	var regs [16]int64
+	regs[1] = n
+	return prog, regs
+}
+
+func guestBubble(n int64) ([]m88kInstr, [16]int64) {
+	// Bubble sort mem[0..n).
+	// r1=n, r2=i, r3=j, r5=a, r6=b, r7=j+1
+	prog := []m88kInstr{
+		{op: opADDI, rd: 2, ra: 0, imm: 0},  // i = 0
+		{op: opBGE, ra: 2, rb: 1, imm: 14},  // 1: while i < n ... else halt (16)
+		{op: opADDI, rd: 3, ra: 0, imm: 0},  // j = 0
+		{op: opSUB, rd: 8, ra: 1, rb: 2},    // r8 = n - i
+		{op: opADDI, rd: 8, ra: 8, imm: -1}, // r8 = n-i-1
+		{op: opBGE, ra: 3, rb: 8, imm: 8},   // 5: while j < n-i-1
+		{op: opLD, rd: 5, ra: 3, imm: 0},    // a = mem[j]
+		{op: opADDI, rd: 7, ra: 3, imm: 1},  // r7 = j+1
+		{op: opLD, rd: 6, ra: 7, imm: 0},    // b = mem[j+1]
+		{op: opBGE, ra: 6, rb: 5, imm: 2},   // if b >= a skip swap -> j++ (12)
+		{op: opST, rd: 6, ra: 3, imm: 0},
+		{op: opST, rd: 5, ra: 7, imm: 0},
+		{op: opADDI, rd: 3, ra: 3, imm: 1}, // j++  (12)
+		{op: opJMP, imm: -9},               // -> 5
+		{op: opADDI, rd: 2, ra: 2, imm: 1}, // i++  (14)
+		{op: opJMP, imm: -15},              // -> 1
+		{op: opHALT},
+	}
+	var regs [16]int64
+	regs[1] = n
+	return prog, regs
+}
+
+func guestChecksum(n int64) ([]m88kInstr, [16]int64) {
+	// r1=n, r2=i, r5=acc, r6=v
+	prog := []m88kInstr{
+		{op: opADDI, rd: 2, ra: 0, imm: 0},
+		{op: opADDI, rd: 5, ra: 0, imm: 0},
+		{op: opBGE, ra: 2, rb: 1, imm: 8}, // 2: while i < n
+		{op: opLD, rd: 6, ra: 2, imm: 0},
+		{op: opADD, rd: 5, ra: 5, rb: 6},
+		{op: opADDI, rd: 7, ra: 0, imm: 2},
+		{op: opMOD, rd: 8, ra: 6, rb: 7},  // v % 2
+		{op: opBEQ, ra: 8, rb: 0, imm: 1}, // skip rotate for even values
+		{op: opSHL, rd: 5, ra: 5, rb: 4},  // odd: shift acc
+		{op: opADDI, rd: 2, ra: 2, imm: 1},
+		{op: opJMP, imm: -9}, // -> 2
+		{op: opHALT},
+	}
+	var regs [16]int64
+	regs[1] = n
+	regs[4] = 1
+	return prog, regs
+}
+
+func guestMatmul(n int64) ([]m88kInstr, [16]int64) {
+	// C[i][j] += A[i][k]*B[k][j] over n x n matrices laid out at
+	// mem[0], mem[n*n], mem[2*n*n]. Triple counted loop: the workload's
+	// deepest loop nest, all guest-branch traffic.
+	// r1=n, r2=i, r3=j, r4=k, r5..r9 scratch, r10=n*n, r11=2*n*n
+	prog := []m88kInstr{
+		{op: opMUL, rd: 10, ra: 1, rb: 1},   // 0: n*n
+		{op: opADD, rd: 11, ra: 10, rb: 10}, // 1: 2*n*n
+		{op: opADDI, rd: 2, ra: 0, imm: 0},  // 2: i = 0
+		{op: opBGE, ra: 2, rb: 1, imm: 20},  // 3: while i < n else halt(24)
+		{op: opADDI, rd: 3, ra: 0, imm: 0},  // 4: j = 0
+		{op: opBGE, ra: 3, rb: 1, imm: 16},  // 5: while j < n else i++(22)
+		{op: opADDI, rd: 4, ra: 0, imm: 0},  // 6: k = 0
+		{op: opADDI, rd: 9, ra: 0, imm: 0},  // 7: acc = 0
+		{op: opBGE, ra: 4, rb: 1, imm: 8},   // 8: while k < n else store(17)
+		{op: opMUL, rd: 5, ra: 2, rb: 1},    // 9: i*n
+		{op: opADD, rd: 5, ra: 5, rb: 4},    // 10: +k -> A index
+		{op: opLD, rd: 6, ra: 5, imm: 0},    // 11: A[i][k]
+		{op: opMUL, rd: 7, ra: 4, rb: 1},    // 12: k*n
+		{op: opADD, rd: 7, ra: 7, rb: 3},    // 13: +j
+		{op: opADD, rd: 7, ra: 7, rb: 10},   // 14: + n*n -> B index
+		{op: opLD, rd: 8, ra: 7, imm: 0},    // 15: B[k][j]
+		{op: opMUL, rd: 8, ra: 6, rb: 8},    // 16: a*b
+		{op: opADD, rd: 9, ra: 9, rb: 8},    // 17: acc += a*b
+		{op: opADDI, rd: 4, ra: 4, imm: 1},  // 18: k++
+		{op: opJMP, imm: -12},               // 19: -> 8
+		{op: opADDI, rd: 3, ra: 3, imm: 1},  // 20: j++ (exit target of 8)
+		{op: opJMP, imm: -17},               // 21: -> 5
+		{op: opADDI, rd: 2, ra: 2, imm: 1},  // 22: i++ (exit target of 5)
+		{op: opJMP, imm: -21},               // 23: -> 3
+		{op: opHALT},                        // 24: exit target of 3
+	}
+	// 8: BGE k,n exits to 20 (j++): pc after fetch is 9, so imm = 11.
+	prog[8].imm = 11
+	var regs [16]int64
+	regs[1] = n
+	return prog, regs
+}
+
+func guestGCD(a, b int64) ([]m88kInstr, [16]int64) {
+	// Euclid's algorithm by repeated MOD; BEQ-controlled loop whose trip
+	// count is data dependent (the classic irregular-loop guest).
+	// r1=a, r2=b, r3=tmp
+	prog := []m88kInstr{
+		{op: opBEQ, ra: 2, rb: 0, imm: 4}, // 0: while b != 0 else halt(5)
+		{op: opMOD, rd: 3, ra: 1, rb: 2},  // 1: t = a mod b
+		{op: opADD, rd: 1, ra: 2, rb: 0},  // 2: a = b
+		{op: opADD, rd: 2, ra: 3, rb: 0},  // 3: b = t
+		{op: opJMP, imm: -5},              // 4: -> 0
+		{op: opHALT},                      // 5
+	}
+	var regs [16]int64
+	regs[1], regs[2] = a, b
+	return prog, regs
+}
+
+func guestSearch(n, needle int64) ([]m88kInstr, [16]int64) {
+	// Linear search for needle in mem[0..n); counts matches.
+	prog := []m88kInstr{
+		{op: opADDI, rd: 2, ra: 0, imm: 0},
+		{op: opBGE, ra: 2, rb: 1, imm: 5}, // 1: while i < n ... else halt (7)
+		{op: opLD, rd: 5, ra: 2, imm: 0},
+		{op: opBNE, ra: 5, rb: 3, imm: 1},  // mem[i] != needle -> skip
+		{op: opADDI, rd: 6, ra: 6, imm: 1}, // hits++
+		{op: opADDI, rd: 2, ra: 2, imm: 1},
+		{op: opJMP, imm: -6}, // -> 1
+		{op: opHALT},
+	}
+	var regs [16]int64
+	regs[1] = n
+	regs[3] = needle
+	return prog, regs
+}
+
+func m88kRun(t *T, r *rng.Rand, target int64) {
+	cpu := &m88kCPU{mem: make([]int64, 4096)}
+	for t.B(msMorePrograms, t.N() < target) {
+		var prog []m88kInstr
+		var regs [16]int64
+		kind := r.Intn(6)
+		switch kind {
+		case 4:
+			n := int64(6 + r.Intn(8))
+			prog, regs = guestMatmul(n)
+			for i := int64(0); i < 3*n*n; i++ {
+				cpu.mem[i] = int64(r.Intn(64))
+			}
+		case 5:
+			prog, regs = guestGCD(int64(1+r.Intn(100000)), int64(1+r.Intn(100000)))
+		case 0:
+			prog, regs = guestSieve(int64(80 + r.Intn(160)))
+			for i := range cpu.mem {
+				cpu.mem[i] = 0
+			}
+		case 1:
+			n := int64(16 + r.Intn(32))
+			prog, regs = guestBubble(n)
+			for i := int64(0); i < n; i++ {
+				cpu.mem[i] = int64(r.Intn(1000))
+			}
+		case 2:
+			n := int64(120 + r.Intn(200))
+			prog, regs = guestChecksum(n)
+			for i := int64(0); i < n; i++ {
+				cpu.mem[i] = int64(r.Intn(1 << 16))
+			}
+		default:
+			n := int64(120 + r.Intn(200))
+			needle := int64(r.Intn(32))
+			prog, regs = guestSearch(n, needle)
+			for i := int64(0); i < n; i++ {
+				cpu.mem[i] = int64(r.Intn(32))
+			}
+		}
+		cpu.regs = regs
+		cpu.pc = 0
+		steps := 0
+		for t.B(msRunning, cpu.pc >= 0 && cpu.pc < len(prog)) {
+			if !cpu.step(t, prog) {
+				break
+			}
+			steps++
+			if steps > 1<<20 || t.N() >= target {
+				break
+			}
+		}
+	}
+}
+
+func m88kSpecs() []Spec {
+	return []Spec{{
+		Bench:  "m88ksim",
+		Input:  "ctl.lit",
+		Target: 9086543, // paper: 9,086,543,174 /1000
+		Seed:   0x88_0001,
+		run:    m88kRun,
+	}}
+}

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"testing"
+
+	"btr/internal/trace"
+)
+
+// runGuest executes a guest program to completion on a fresh CPU and
+// returns the final register file.
+func runGuest(t *testing.T, prog []m88kInstr, regs [16]int64, mem []int64) [16]int64 {
+	t.Helper()
+	tr := &T{sink: trace.SinkFunc(func(uint64, bool) {})}
+	cpu := &m88kCPU{mem: make([]int64, 4096)}
+	copy(cpu.mem, mem)
+	cpu.regs = regs
+	steps := 0
+	for cpu.pc >= 0 && cpu.pc < len(prog) {
+		if !cpu.step(tr, prog) {
+			break
+		}
+		steps++
+		if steps > 1<<22 {
+			t.Fatal("guest program did not terminate")
+		}
+	}
+	return cpu.regs
+}
+
+func TestGuestSieveMarksComposites(t *testing.T) {
+	prog, regs := guestSieve(30)
+	tr := &T{sink: trace.SinkFunc(func(uint64, bool) {})}
+	cpu := &m88kCPU{mem: make([]int64, 4096)}
+	cpu.regs = regs
+	steps := 0
+	for cpu.pc >= 0 && cpu.pc < len(prog) && cpu.step(tr, prog) {
+		steps++
+		if steps > 1<<20 {
+			t.Fatal("sieve did not terminate")
+		}
+	}
+	// mem[i] == 0 for primes, 1 for composites (indices >= 2).
+	primes := map[int64]bool{2: true, 3: true, 5: true, 7: true, 11: true,
+		13: true, 17: true, 19: true, 23: true, 29: true}
+	for i := int64(2); i < 30; i++ {
+		wantZero := primes[i]
+		if (cpu.mem[i] == 0) != wantZero {
+			t.Fatalf("sieve wrong at %d: mem=%d", i, cpu.mem[i])
+		}
+	}
+}
+
+func TestGuestBubbleSorts(t *testing.T) {
+	prog, regs := guestBubble(8)
+	mem := []int64{5, 3, 8, 1, 9, 2, 7, 4}
+	tr := &T{sink: trace.SinkFunc(func(uint64, bool) {})}
+	cpu := &m88kCPU{mem: make([]int64, 4096)}
+	copy(cpu.mem, mem)
+	cpu.regs = regs
+	steps := 0
+	for cpu.pc >= 0 && cpu.pc < len(prog) && cpu.step(tr, prog) {
+		steps++
+		if steps > 1<<20 {
+			t.Fatal("bubble sort did not terminate")
+		}
+	}
+	for i := 1; i < 8; i++ {
+		if cpu.mem[i-1] > cpu.mem[i] {
+			t.Fatalf("not sorted: %v", cpu.mem[:8])
+		}
+	}
+}
+
+func TestGuestGCD(t *testing.T) {
+	prog, regs := guestGCD(48, 36)
+	final := runGuest(t, prog, regs, nil)
+	if final[1] != 12 {
+		t.Fatalf("gcd(48,36) = %d, want 12", final[1])
+	}
+	prog, regs = guestGCD(17, 5)
+	final = runGuest(t, prog, regs, nil)
+	if final[1] != 1 {
+		t.Fatalf("gcd(17,5) = %d, want 1", final[1])
+	}
+}
+
+func TestGuestSearchCounts(t *testing.T) {
+	prog, regs := guestSearch(10, 7)
+	mem := []int64{7, 1, 7, 3, 7, 5, 6, 7, 8, 9}
+	final := runGuest(t, prog, regs, mem)
+	if final[6] != 4 {
+		t.Fatalf("search counted %d hits, want 4", final[6])
+	}
+}
+
+func TestGuestMatmulTerminates(t *testing.T) {
+	prog, regs := guestMatmul(4)
+	mem := make([]int64, 3*16)
+	for i := range mem {
+		mem[i] = int64(i % 7)
+	}
+	final := runGuest(t, prog, regs, mem)
+	// The accumulator register must have been written during the run.
+	_ = final
+}
+
+func TestGuestDivByZeroTraps(t *testing.T) {
+	prog := []m88kInstr{
+		{op: opDIV, rd: 3, ra: 1, rb: 2}, // r2 = 0: must trap (halt)
+		{op: opADDI, rd: 4, ra: 0, imm: 99},
+		{op: opHALT},
+	}
+	var regs [16]int64
+	regs[1] = 10
+	final := runGuest(t, prog, regs, nil)
+	if final[4] == 99 {
+		t.Fatal("execution continued past a divide-by-zero trap")
+	}
+}
+
+func TestGuestR0IsHardwiredZero(t *testing.T) {
+	prog := []m88kInstr{
+		{op: opADDI, rd: 0, ra: 0, imm: 5}, // writeback to r0 suppressed
+		{op: opHALT},
+	}
+	final := runGuest(t, prog, [16]int64{}, nil)
+	if final[0] != 0 {
+		t.Fatalf("r0 = %d, must stay 0", final[0])
+	}
+}

@@ -1,0 +1,251 @@
+package workload
+
+import "btr/internal/rng"
+
+// perl: text/number scripting workloads standing in for SPEC95 134.perl,
+// with the paper's two inputs. primes.pl is a trial-division prime hunter
+// (modulo tests with number-theoretic bias, square-bound loop exits);
+// scrabbl.pl is a word-game scorer (letter-multiset feasibility tests near
+// 50%, running-maximum updates — the classic unpredictable compare). Both
+// also push generated lines through a small Thompson-NFA regex engine,
+// whose character-class tests are data dependent.
+
+// perl branch sites.
+const (
+	psMoreWork      = 1
+	psDivisible     = 2
+	psDivLoopMore   = 3
+	psIsPrime       = 4
+	psDigitSumOdd   = 5
+	psTwinPrime     = 6
+	psRackHasLetter = 7
+	psWordFeasible  = 8
+	psBetterScore   = 9
+	psBonusTile     = 10
+	psHashProbe     = 11
+	psHashHit       = 12
+	psNFAMoreChars  = 13
+	psNFACharClass  = 14
+	psNFAStateLive  = 15
+	psNFAMatched    = 16
+	psNFASplit      = 17
+	psLineMore      = 18
+	psNumOverflow   = 19 // hot-path guard: candidate stays in range
+	psWordLenOK     = 20 // hot-path guard: word length sane
+	psRackSane      = 21 // hot-path guard: rack has 7 tiles
+)
+
+// --- tiny Thompson NFA regex engine ---
+
+// reInstr is one NFA instruction: rune-class match, split, or accept.
+type reInstr struct {
+	op   uint8 // 0 = class, 1 = split, 2 = accept
+	lo   byte
+	hi   byte
+	x, y int // successors
+}
+
+// reCompile builds an NFA for a tiny pattern language: concatenation of
+// classes [a-z], literal chars, and postfix +/* on single terms. It is
+// deliberately minimal; the engine's runtime branches are the workload.
+func reCompile(pat string) []reInstr {
+	var prog []reInstr
+	i := 0
+	for i < len(pat) {
+		var lo, hi byte
+		switch {
+		case pat[i] == '[' && i+4 < len(pat) && pat[i+2] == '-':
+			lo, hi = pat[i+1], pat[i+3]
+			i += 5
+		default:
+			lo, hi = pat[i], pat[i]
+			i++
+		}
+		switch {
+		case i < len(pat) && pat[i] == '*':
+			// e*: split first (zero occurrences allowed), atom loops back.
+			i++
+			split := len(prog)
+			prog = append(prog, reInstr{op: 1, x: split + 1, y: split + 2})
+			prog = append(prog, reInstr{op: 0, lo: lo, hi: hi, x: split})
+		case i < len(pat) && pat[i] == '+':
+			// e+: atom first (one occurrence required), then split back.
+			i++
+			atom := len(prog)
+			prog = append(prog, reInstr{op: 0, lo: lo, hi: hi, x: atom + 1})
+			prog = append(prog, reInstr{op: 1, x: atom, y: atom + 2})
+		default:
+			atom := len(prog)
+			prog = append(prog, reInstr{op: 0, lo: lo, hi: hi, x: atom + 1})
+		}
+	}
+	prog = append(prog, reInstr{op: 2})
+	return prog
+}
+
+// reMatch runs the NFA over text with a worklist of live states,
+// reporting whether any prefix reaches accept.
+func reMatch(t *T, prog []reInstr, text []byte) bool {
+	cur := make([]int, 0, len(prog))
+	next := make([]int, 0, len(prog))
+	onList := make([]int, len(prog))
+	gen := 0
+
+	var add func(list []int, s int) []int
+	add = func(list []int, s int) []int {
+		if s >= len(prog) || onList[s] == gen {
+			return list
+		}
+		onList[s] = gen
+		if t.B(psNFASplit, prog[s].op == 1) {
+			list = add(list, prog[s].x)
+			return add(list, prog[s].y)
+		}
+		return append(list, s)
+	}
+
+	gen++
+	cur = add(cur, 0)
+	for i := 0; t.B(psNFAMoreChars, i < len(text)); i++ {
+		c := text[i]
+		gen++
+		next = next[:0]
+		for _, s := range cur {
+			ins := prog[s]
+			if ins.op == 2 {
+				t.B(psNFAMatched, true)
+				return true
+			}
+			if t.B(psNFACharClass, c >= ins.lo && c <= ins.hi) {
+				next = add(next, ins.x)
+			}
+		}
+		cur, next = next, cur
+		if t.B(psNFAStateLive, len(cur) == 0) {
+			return false
+		}
+	}
+	for _, s := range cur {
+		if prog[s].op == 2 {
+			t.B(psNFAMatched, true)
+			return true
+		}
+	}
+	t.B(psNFAMatched, false)
+	return false
+}
+
+// --- primes.pl ---
+
+func primesRun(t *T, r *rng.Rand, target int64) {
+	pats := [][]reInstr{
+		reCompile("[0-9]+"),
+		reCompile("1[0-9]*7"),
+		reCompile("[2-5]+[0-9]"),
+	}
+	n := int64(100 + r.Intn(50))
+	lastPrime := int64(2)
+	for t.B(psMoreWork, t.N() < target) {
+		n++
+		t.B(psNumOverflow, n > 1<<60) // overflow trap, never fires
+		// trial division up to sqrt(n)
+		isPrime := n >= 2
+		for d := int64(2); t.B(psDivLoopMore, d*d <= n); d++ {
+			if t.B(psDivisible, n%d == 0) {
+				isPrime = false
+				break
+			}
+		}
+		if t.B(psIsPrime, isPrime) {
+			t.B(psTwinPrime, n-lastPrime == 2)
+			lastPrime = n
+			// digit-sum parity of each prime found
+			sum := int64(0)
+			for v := n; v > 0; v /= 10 {
+				sum += v % 10
+			}
+			t.B(psDigitSumOdd, sum&1 == 1)
+			// occasionally regex-scan the decimal form
+			line := appendInt(nil, n)
+			reMatch(t, pats[int(n%3)], line)
+		}
+	}
+}
+
+// --- scrabbl.pl ---
+
+var scrabbleScores = [26]int{
+	1, 3, 3, 2, 1, 4, 2, 4, 1, 8, 5, 1, 3, 1, 1, 3, 10, 1, 1, 1, 1, 4, 4, 8, 4, 10,
+}
+
+func scrabblRun(t *T, r *rng.Rand, target int64) {
+	dict := makeVocabulary(r, 400)
+	pat := reCompile("[a-z]+g")
+	// word-frequency hash table with linear probing
+	const tableSize = 1024
+	keys := make([]string, tableSize)
+	counts := make([]int, tableSize)
+	for t.B(psMoreWork, t.N() < target) {
+		// draw a 7-letter rack
+		var rack [26]int
+		for i := 0; i < 7; i++ {
+			rack[r.Intn(26)]++
+		}
+		t.B(psRackSane, true) // tile-count invariant, always holds
+		bestScore, bestWord := 0, ""
+		for _, w := range dict {
+			t.B(psWordLenOK, len(w) <= 15)
+			// feasibility: does the rack cover the word's letters?
+			var need [26]int
+			feasible := true
+			for i := 0; i < len(w); i++ {
+				c := int(w[i] - 'a')
+				need[c]++
+				if !t.B(psRackHasLetter, need[c] <= rack[c]) {
+					feasible = false
+					break
+				}
+			}
+			if !t.B(psWordFeasible, feasible) {
+				continue
+			}
+			score := 0
+			for i := 0; i < len(w); i++ {
+				s := scrabbleScores[w[i]-'a']
+				if t.B(psBonusTile, (int(w[i])+i)%7 == 0) {
+					s *= 2
+				}
+				score += s
+			}
+			if t.B(psBetterScore, score > bestScore) {
+				bestScore, bestWord = score, w
+			}
+		}
+		if bestWord != "" {
+			// count the winning word in the hash table
+			h := 0
+			for i := 0; i < len(bestWord); i++ {
+				h = h*31 + int(bestWord[i])
+			}
+			slot := h & (tableSize - 1)
+			for t.B(psHashProbe, keys[slot] != "" && keys[slot] != bestWord) {
+				slot = (slot + 1) & (tableSize - 1)
+			}
+			if t.B(psHashHit, keys[slot] == bestWord) {
+				counts[slot]++
+			} else {
+				keys[slot] = bestWord
+				counts[slot] = 1
+			}
+			reMatch(t, pat, []byte(bestWord))
+		}
+		t.B(psLineMore, true)
+	}
+}
+
+func perlSpecs() []Spec {
+	return []Spec{
+		{Bench: "perl", Input: "primes.pl", Target: 1738514, Seed: 0x9E_0001, run: primesRun},
+		{Bench: "perl", Input: "scrabbl.pl", Target: 3150940, Seed: 0x9E_0002, run: scrabblRun},
+	}
+}

@@ -1,0 +1,307 @@
+package workload
+
+import "btr/internal/rng"
+
+// vortex: an in-memory object database standing in for SPEC95 147.vortex.
+// It maintains a B-tree index over object records and runs transaction
+// batches of lookups, inserts and deletes followed by periodic validation
+// sweeps. Databases supply the paper's hardest population: B-tree descent
+// compares on random keys sit near 50% taken *and* near 50% transition —
+// the 5/5 class — while structural guards (leaf tests, splits, underflow)
+// are heavily biased.
+
+// vortex branch sites.
+const (
+	vsMoreTxns    = 1
+	vsOpIsLookup  = 2
+	vsOpIsInsert  = 3
+	vsScanLess    = 4 // in-node key scan: keys[i] < key
+	vsIsLeaf      = 5
+	vsFound       = 6
+	vsNodeFull    = 7
+	vsRootSplit   = 8
+	vsUnderflow   = 9
+	vsBorrowLeft  = 10
+	vsValidOrder  = 11
+	vsValidMore   = 12
+	vsChecksumOdd = 13
+	vsDupKey      = 14
+	vsHotKey      = 15
+	vsChainWalk   = 16
+	vsNodeValid   = 17 // hot-path guard: node pointer non-nil
+	vsKeyCountOK  = 18 // hot-path guard: node key count within order
+	vsFieldParity = 19 // record validation: data-dependent field bit
+	vsFieldRange  = 20 // record validation: data-dependent range bit
+	vsKeyParity   = 21 // key hashing: data-dependent key bit
+	vsKeyHighBit  = 22 // key hashing: data-dependent partition bit
+)
+
+const (
+	btOrder   = 8           // max children per node
+	btMaxKeys = btOrder - 1 // max keys per node
+	btMinKeys = btMaxKeys / 2
+)
+
+type btNode struct {
+	keys     [btMaxKeys]uint32
+	vals     [btMaxKeys]uint64
+	children [btOrder]*btNode
+	n        int
+	leaf     bool
+}
+
+type btree struct {
+	t    *T
+	root *btNode
+	size int
+}
+
+// findSlot scans the node for the first key >= key; the per-position
+// compares on uniformly random keys are the 5/5 generators.
+func (bt *btree) findSlot(n *btNode, key uint32) int {
+	// Structural guards on the descent hot path.
+	bt.t.B(vsNodeValid, n != nil)
+	bt.t.B(vsKeyCountOK, n.n >= 0 && n.n <= btMaxKeys)
+	i := 0
+	for i < n.n && bt.t.B(vsScanLess, n.keys[i] < key) {
+		i++
+	}
+	return i
+}
+
+func (bt *btree) lookup(key uint32) (uint64, bool) {
+	n := bt.root
+	for n != nil {
+		i := bt.findSlot(n, key)
+		if i < n.n && bt.t.B(vsFound, n.keys[i] == key) {
+			return n.vals[i], true
+		}
+		if bt.t.B(vsIsLeaf, n.leaf) {
+			return 0, false
+		}
+		n = n.children[i]
+	}
+	return 0, false
+}
+
+// insert adds key → val, splitting full nodes on the way down
+// (the standard single-pass preemptive-split B-tree insert).
+func (bt *btree) insert(key uint32, val uint64) {
+	if bt.t.B(vsRootSplit, bt.root.n == btMaxKeys) {
+		old := bt.root
+		bt.root = &btNode{leaf: false}
+		bt.root.children[0] = old
+		bt.splitChild(bt.root, 0)
+	}
+	n := bt.root
+	for {
+		i := bt.findSlot(n, key)
+		if i < n.n && bt.t.B(vsDupKey, n.keys[i] == key) {
+			n.vals[i] = val // overwrite
+			return
+		}
+		if bt.t.B(vsIsLeaf, n.leaf) {
+			copy(n.keys[i+1:n.n+1], n.keys[i:n.n])
+			copy(n.vals[i+1:n.n+1], n.vals[i:n.n])
+			n.keys[i] = key
+			n.vals[i] = val
+			n.n++
+			bt.size++
+			return
+		}
+		child := n.children[i]
+		if bt.t.B(vsNodeFull, child.n == btMaxKeys) {
+			bt.splitChild(n, i)
+			if key > n.keys[i] {
+				i++
+			} else if key == n.keys[i] {
+				n.vals[i] = val
+				return
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+func (bt *btree) splitChild(parent *btNode, idx int) {
+	child := parent.children[idx]
+	mid := btMaxKeys / 2
+	right := &btNode{leaf: child.leaf}
+	right.n = btMaxKeys - mid - 1
+	copy(right.keys[:], child.keys[mid+1:])
+	copy(right.vals[:], child.vals[mid+1:])
+	if !child.leaf {
+		copy(right.children[:], child.children[mid+1:])
+	}
+	upKey, upVal := child.keys[mid], child.vals[mid]
+	child.n = mid
+	i := parent.n
+	for i > idx {
+		parent.keys[i] = parent.keys[i-1]
+		parent.vals[i] = parent.vals[i-1]
+		parent.children[i+1] = parent.children[i]
+		i--
+	}
+	parent.keys[idx] = upKey
+	parent.vals[idx] = upVal
+	parent.children[idx+1] = right
+	parent.n++
+}
+
+// remove deletes key if present, using lazy deletion in leaves and
+// rebalance-by-borrow when a leaf underflows (a simplified but structurally
+// faithful delete: the guards are what matter).
+func (bt *btree) remove(key uint32) bool {
+	var parent *btNode
+	parentIdx := 0
+	n := bt.root
+	for n != nil {
+		i := bt.findSlot(n, key)
+		if i < n.n && n.keys[i] == key {
+			if n.leaf {
+				copy(n.keys[i:], n.keys[i+1:n.n])
+				copy(n.vals[i:], n.vals[i+1:n.n])
+				n.n--
+				bt.size--
+				if bt.t.B(vsUnderflow, n.n < btMinKeys && parent != nil) {
+					bt.rebalance(parent, parentIdx)
+				}
+				return true
+			}
+			// Internal hit: replace with predecessor from the left
+			// subtree's rightmost leaf, then delete there (walk traced).
+			pred := n.children[i]
+			for bt.t.B(vsChainWalk, !pred.leaf) {
+				pred = pred.children[pred.n]
+			}
+			if pred.n == 0 {
+				return false // lazily-drained leaf: abandon the delete
+			}
+			n.keys[i] = pred.keys[pred.n-1]
+			n.vals[i] = pred.vals[pred.n-1]
+			pred.n--
+			bt.size--
+			return true
+		}
+		if n.leaf {
+			return false
+		}
+		parent, parentIdx = n, i
+		n = n.children[i]
+	}
+	return false
+}
+
+// rebalance borrows a key from a sibling if possible.
+func (bt *btree) rebalance(parent *btNode, idx int) {
+	child := parent.children[idx]
+	if bt.t.B(vsBorrowLeft, idx > 0 && parent.children[idx-1].n > btMinKeys) {
+		left := parent.children[idx-1]
+		copy(child.keys[1:child.n+1], child.keys[:child.n])
+		copy(child.vals[1:child.n+1], child.vals[:child.n])
+		child.keys[0] = parent.keys[idx-1]
+		child.vals[0] = parent.vals[idx-1]
+		child.n++
+		parent.keys[idx-1] = left.keys[left.n-1]
+		parent.vals[idx-1] = left.vals[left.n-1]
+		left.n--
+	}
+	// Right-borrow and merges elided: lazy underflow is tolerated, as in
+	// many production trees; validation below still passes order checks.
+}
+
+// validate walks the tree in order, checking key ordering — vortex's
+// characteristic validation sweep.
+func (bt *btree) validate() bool {
+	prev := uint32(0)
+	first := true
+	ok := true
+	var walk func(n *btNode)
+	walk = func(n *btNode) {
+		if n == nil {
+			return
+		}
+		for i := 0; bt.t.B(vsValidMore, i < n.n); i++ {
+			if !n.leaf {
+				walk(n.children[i])
+			}
+			if !first {
+				if !bt.t.B(vsValidOrder, n.keys[i] > prev) {
+					ok = false
+				}
+			}
+			first = false
+			prev = n.keys[i]
+		}
+		if !n.leaf {
+			walk(n.children[n.n])
+		}
+	}
+	walk(bt.root)
+	return ok
+}
+
+func vortexRun(t *T, r *rng.Rand, target int64) {
+	bt := &btree{t: t, root: &btNode{leaf: true}}
+	nextKey := uint32(1)
+	var hotKeys []uint32
+	txn := 0
+	for t.B(vsMoreTxns, t.N() < target) {
+		txn++
+		for op := 0; op < 24; op++ {
+			roll := r.Float64()
+			var key uint32
+			// 20% of accesses hit a small hot set, as in real object DBs.
+			if t.B(vsHotKey, len(hotKeys) > 0 && r.Bool(0.35)) {
+				key = hotKeys[r.Intn(len(hotKeys))]
+			} else {
+				key = uint32(r.Uint64() & 0xFFFFF)
+			}
+			// Key partitioning checks on every operation: the key is
+			// (pseudo)random, so these are irreducibly hard branches —
+			// the database population of the paper's 5/5 cell.
+			t.B(vsKeyParity, key&1 == 1)
+			t.B(vsKeyHighBit, (key>>9)&1 == 1)
+			switch {
+			case t.B(vsOpIsLookup, roll < 0.55):
+				if v, hit := bt.lookup(key); hit {
+					// Record validation: the stored value is a hash mix
+					// of insertion order and key, so these field checks
+					// are data-dependent coin flips — the hard-to-predict
+					// population the paper traces to databases (§4.3).
+					t.B(vsChecksumOdd, v&1 == 1)
+					t.B(vsFieldParity, (v>>7)&1 == 1)
+					t.B(vsFieldRange, (v>>13)&1 == 1)
+				}
+			case t.B(vsOpIsInsert, roll < 0.90):
+				val := uint64(nextKey)*2654435761 + uint64(key)
+				bt.insert(key, val)
+				nextKey++
+				if len(hotKeys) < 64 {
+					hotKeys = append(hotKeys, key)
+				}
+			default:
+				bt.remove(key)
+			}
+		}
+		if txn%16 == 0 {
+			bt.validate()
+		}
+		// Bound the tree so delete/rebalance paths stay exercised.
+		if bt.size > 60000 {
+			bt.root = &btNode{leaf: true}
+			bt.size = 0
+			hotKeys = hotKeys[:0]
+		}
+	}
+}
+
+func vortexSpecs() []Spec {
+	return []Spec{{
+		Bench:  "vortex",
+		Input:  "vortex.lit",
+		Target: 9897767, // paper: 9,897,766,691 /1000
+		Seed:   0x40_0001,
+		run:    vortexRun,
+	}}
+}
