@@ -21,6 +21,9 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale; 1.0 = Table 1 counts /1000")
 	workers := flag.Int("workers", 0, "parallel inputs (0 = GOMAXPROCS)")
+	bankWorkers := flag.Int("bankworkers", 0, "goroutines sharding each input's predictor bank (0 = GOMAXPROCS)")
+	chunk := flag.Int("chunk", 0, "recorded-trace chunk size in events (0 = default)")
+	noRecord := flag.Bool("norecord", false, "regenerate workloads per pass instead of record/replay (slower, lower memory)")
 	out := flag.String("out", "results", "output directory")
 	run := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 	list := flag.Bool("list", false, "list experiments and exit")
@@ -50,7 +53,13 @@ func main() {
 		fatal(err)
 	}
 
-	ctx := btr.NewExperimentContext(btr.SimConfig{Scale: *scale, Workers: *workers})
+	ctx := btr.NewExperimentContext(btr.SimConfig{
+		Scale:       *scale,
+		Workers:     *workers,
+		BankWorkers: *bankWorkers,
+		ChunkEvents: *chunk,
+		NoRecord:    *noRecord,
+	})
 	start := time.Now()
 	for _, id := range ids {
 		path := filepath.Join(*out, id+".txt")

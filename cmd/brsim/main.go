@@ -18,7 +18,7 @@ import (
 
 	"btr"
 	"btr/internal/bpred"
-	"btr/internal/sim"
+	"btr/internal/core"
 	"btr/internal/trace"
 )
 
@@ -31,17 +31,22 @@ func main() {
 	k := flag.Int("k", 8, "history length")
 	flag.Parse()
 
-	var spec btr.WorkloadSpec
-	var haveSpec bool
-	if *bench != "" && *input != "" {
-		s, err := btr.FindWorkload(*bench, *input)
+	// Workloads are recorded once into an in-memory chunked trace: the
+	// profile-guided hybrids replay it for their profiling pass and the
+	// measurement pass replays it again, so the generator runs once no
+	// matter how many passes the predictor needs.
+	var recorded *trace.ChunkedTrace
+	if *tracePath == "" && *bench != "" && *input != "" {
+		spec, err := btr.FindWorkload(*bench, *input)
 		if err != nil {
 			fatal(err)
 		}
-		spec, haveSpec = s, true
+		rec := trace.NewChunkRecorder(0)
+		spec.Run(rec, *scale)
+		recorded = rec.Trace()
 	}
 
-	p, err := buildPredictor(*pred, *k, spec, haveSpec, *scale)
+	p, err := buildPredictor(*pred, *k, recorded)
 	if err != nil {
 		fatal(err)
 	}
@@ -62,9 +67,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-	case haveSpec:
-		misses, events := btr.RunPredictor(p, spec, *scale)
-		res = bpred.Result{Name: p.Name(), Misses: misses, Events: events}
+	case recorded != nil:
+		res, err = bpred.Run(p, recorded.Source())
+		if err != nil {
+			fatal(err)
+		}
 	default:
 		fatal(fmt.Errorf("need either -trace or -bench/-input"))
 	}
@@ -73,7 +80,7 @@ func main() {
 		p.Name(), res.Events, res.Misses, res.MissRate(), 100*(1-res.MissRate()), p.SizeBits())
 }
 
-func buildPredictor(kind string, k int, spec btr.WorkloadSpec, haveSpec bool, scale float64) (btr.Predictor, error) {
+func buildPredictor(kind string, k int, recorded *trace.ChunkedTrace) (btr.Predictor, error) {
 	switch kind {
 	case "pas":
 		return bpred.NewPAs(k), nil
@@ -107,10 +114,12 @@ func buildPredictor(kind string, k int, spec btr.WorkloadSpec, haveSpec bool, sc
 	case "dynhybrid":
 		return bpred.NewDynamicClassHybrid(13, 64, bpred.HybridComponents{}), nil
 	case "transhybrid", "takenhybrid":
-		if !haveSpec {
+		if recorded == nil {
 			return nil, fmt.Errorf("%s needs -bench/-input (it profiles first)", kind)
 		}
-		profiler, classes := sim.ProfileInput(spec, scale)
+		profiler := core.NewProfiler()
+		recorded.Replay(profiler)
+		classes := core.Classify(profiler.Profiles())
 		if kind == "transhybrid" {
 			return bpred.NewTransitionHybrid(classes, profiler.Profiles(), bpred.HybridComponents{}), nil
 		}

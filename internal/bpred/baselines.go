@@ -19,6 +19,9 @@ func (AlwaysTaken) Predict(pc uint64) bool { return true }
 // Update implements Predictor.
 func (AlwaysTaken) Update(pc uint64, taken bool) {}
 
+// PredictUpdate implements PredictUpdater.
+func (AlwaysTaken) PredictUpdate(pc uint64, taken bool) bool { return true }
+
 // SizeBits implements Predictor.
 func (AlwaysTaken) SizeBits() int64 { return 0 }
 
@@ -49,6 +52,9 @@ func (s *StaticBias) Predict(pc uint64) bool {
 // Update implements Predictor.
 func (s *StaticBias) Update(pc uint64, taken bool) {}
 
+// PredictUpdate implements PredictUpdater.
+func (s *StaticBias) PredictUpdate(pc uint64, taken bool) bool { return s.Predict(pc) }
+
 // SizeBits implements Predictor. Profiled hints live in the binary, not
 // predictor hardware, so the cost is zero table bits.
 func (s *StaticBias) SizeBits() int64 { return 0 }
@@ -75,6 +81,15 @@ func (l *LastTime) Predict(pc uint64) bool { return l.bits[pcIndex(pc)&l.mask] }
 // Update implements Predictor.
 func (l *LastTime) Update(pc uint64, taken bool) { l.bits[pcIndex(pc)&l.mask] = taken }
 
+// PredictUpdate implements PredictUpdater: one table index for the fused
+// predict-then-update step.
+func (l *LastTime) PredictUpdate(pc uint64, taken bool) bool {
+	i := pcIndex(pc) & l.mask
+	predicted := l.bits[i]
+	l.bits[i] = taken
+	return predicted
+}
+
 // SizeBits implements Predictor.
 func (l *LastTime) SizeBits() int64 { return int64(len(l.bits)) }
 
@@ -98,6 +113,11 @@ func (b *Bimodal) Predict(pc uint64) bool { return b.pht.Predict(pcIndex(pc)) }
 
 // Update implements Predictor.
 func (b *Bimodal) Update(pc uint64, taken bool) { b.pht.Update(pcIndex(pc), taken) }
+
+// PredictUpdate implements PredictUpdater.
+func (b *Bimodal) PredictUpdate(pc uint64, taken bool) bool {
+	return b.pht.PredictUpdate(pcIndex(pc), taken)
+}
 
 // SizeBits implements Predictor.
 func (b *Bimodal) SizeBits() int64 { return b.pht.SizeBits() }
@@ -140,6 +160,17 @@ func (g *GShare) Update(pc uint64, taken bool) {
 	if taken {
 		g.ghr |= 1
 	}
+}
+
+// PredictUpdate implements PredictUpdater: the XORed index is computed
+// once for the fused predict-then-update step.
+func (g *GShare) PredictUpdate(pc uint64, taken bool) bool {
+	predicted := g.pht.PredictUpdate(g.index(pc), taken)
+	g.ghr <<= 1
+	if taken {
+		g.ghr |= 1
+	}
+	return predicted
 }
 
 // SizeBits implements Predictor.
@@ -196,6 +227,28 @@ func (a *Agree) Update(pc uint64, taken bool) {
 	}
 }
 
+// PredictUpdate implements PredictUpdater. The prediction uses the
+// pre-update bias/seen state, exactly as a Predict-then-Update pair does.
+func (a *Agree) PredictUpdate(pc uint64, taken bool) bool {
+	i := pcIndex(pc) & a.biasMask
+	bias := true
+	if a.seen[i] {
+		bias = a.bias[i]
+	}
+	idx := a.inner.index(pc)
+	predicted := a.inner.pht.Predict(idx) == bias
+	if !a.seen[i] {
+		a.seen[i] = true
+		a.bias[i] = taken
+	}
+	a.inner.pht.Update(idx, taken == a.bias[i])
+	a.inner.ghr <<= 1
+	if taken {
+		a.inner.ghr |= 1
+	}
+	return predicted
+}
+
 // SizeBits implements Predictor.
 func (a *Agree) SizeBits() int64 { return a.inner.SizeBits() + int64(len(a.bias)) }
 
@@ -234,6 +287,24 @@ func (t *Tournament) Update(pc uint64, taken bool) {
 	}
 	t.a.Update(pc, taken)
 	t.b.Update(pc, taken)
+}
+
+// PredictUpdate implements PredictUpdater: each component predicts once,
+// serving both the output selection and the chooser training that separate
+// Predict/Update calls would recompute.
+func (t *Tournament) PredictUpdate(pc uint64, taken bool) bool {
+	aPred := t.a.Predict(pc)
+	bPred := t.b.Predict(pc)
+	predicted := bPred
+	if t.chooser.Predict(pcIndex(pc)) {
+		predicted = aPred
+	}
+	if (aPred == taken) != (bPred == taken) {
+		t.chooser.Update(pcIndex(pc), aPred == taken)
+	}
+	t.a.Update(pc, taken)
+	t.b.Update(pc, taken)
+	return predicted
 }
 
 // SizeBits implements Predictor.

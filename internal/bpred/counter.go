@@ -48,8 +48,12 @@ func NewCounterTable(bits int) *CounterTable {
 		counters: make([]Counter2, n),
 		mask:     uint64(n - 1),
 	}
-	for i := range t.counters {
-		t.counters[i] = 1
+	// Fill by doubling copies (memmove) rather than a byte-at-a-time
+	// store loop: the sweep harness rebuilds 34 tables (~4 MB) per input,
+	// making initialisation a measurable slice of small runs.
+	t.counters[0] = 1
+	for i := 1; i < n; i *= 2 {
+		copy(t.counters[i:], t.counters[:i])
 	}
 	return t
 }
@@ -69,6 +73,16 @@ func (t *CounterTable) Predict(index uint64) bool {
 func (t *CounterTable) Update(index uint64, taken bool) {
 	i := index & t.mask
 	t.counters[i] = t.counters[i].Update(taken)
+}
+
+// PredictUpdate performs one fused predict-then-update step at index,
+// returning the pre-update prediction. It masks and loads the counter
+// once, where separate Predict/Update calls index the table twice.
+func (t *CounterTable) PredictUpdate(index uint64, taken bool) bool {
+	i := index & t.mask
+	c := t.counters[i]
+	t.counters[i] = c.Update(taken)
+	return c.Predict()
 }
 
 // Counter returns the raw counter value at index (for tests/inspection).

@@ -24,6 +24,27 @@ type Predictor interface {
 	SizeBits() int64
 }
 
+// PredictUpdater is the optional fused fast path: one call performs the
+// predict-then-update protocol and returns the pre-update prediction,
+// letting implementations compute each table index once instead of twice.
+// Fused and separate calls must be behaviourally identical; the sweep
+// harness and Step rely on that equivalence.
+type PredictUpdater interface {
+	// PredictUpdate returns Predict(pc), then applies Update(pc, taken).
+	PredictUpdate(pc uint64, taken bool) bool
+}
+
+// Step performs one predict-then-update step, using the fused path when
+// the predictor provides one.
+func Step(p Predictor, pc uint64, taken bool) bool {
+	if pu, ok := p.(PredictUpdater); ok {
+		return pu.PredictUpdate(pc, taken)
+	}
+	predicted := p.Predict(pc)
+	p.Update(pc, taken)
+	return predicted
+}
+
 // Result summarises a predictor's accuracy over a stream.
 type Result struct {
 	Name   string
@@ -50,10 +71,9 @@ func Run(p Predictor, src trace.Source) (Result, error) {
 		if !ok {
 			return res, nil
 		}
-		if p.Predict(ev.PC) != ev.Taken {
+		if Step(p, ev.PC, ev.Taken) != ev.Taken {
 			res.Misses++
 		}
-		p.Update(ev.PC, ev.Taken)
 		res.Events++
 	}
 }
@@ -76,12 +96,11 @@ var _ trace.Sink = (*Sink)(nil)
 
 // Branch performs one predict-update step.
 func (s *Sink) Branch(pc uint64, taken bool) {
-	predicted := s.P.Predict(pc)
+	predicted := Step(s.P, pc, taken)
 	if predicted != taken {
 		s.Res.Misses++
 	}
 	s.Res.Events++
-	s.P.Update(pc, taken)
 	if s.Observe != nil {
 		s.Observe(pc, predicted, taken)
 	}

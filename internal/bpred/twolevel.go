@@ -91,8 +91,41 @@ func (g *GAs) Update(pc uint64, taken bool) {
 	}
 }
 
+// PredictUpdate implements PredictUpdater: the PHT index is computed once
+// for the fused predict-then-update step.
+func (g *GAs) PredictUpdate(pc uint64, taken bool) bool {
+	predicted := g.pht.PredictUpdate(g.index(pc), taken)
+	g.ghr <<= 1
+	if taken {
+		g.ghr |= 1
+	}
+	return predicted
+}
+
 // SizeBits implements Predictor.
 func (g *GAs) SizeBits() int64 { return g.pht.SizeBits() + int64(g.k) }
+
+// SweepChunk runs the fused predict-then-update protocol over one decoded
+// trace chunk — pcs and the direction bitmap dirs (event i's outcome is
+// bit i&63 of word i>>6) hold n events — setting bit i of wrong for every
+// misprediction. It is the batch hot path of the sweep harness: the loop
+// body is fully concrete, and the history register stays in a local.
+// Behaviour is identical to n PredictUpdate calls.
+func (g *GAs) SweepChunk(pcs, dirs []uint64, n int, wrong []uint64) {
+	ghr := g.ghr
+	for i := 0; i < n; i++ {
+		taken := dirs[i>>6]&(1<<(uint(i)&63)) != 0
+		idx := (pcIndex(pcs[i])&g.addrMask)<<uint(g.k) | (ghr & g.histMask)
+		if g.pht.PredictUpdate(idx, taken) != taken {
+			wrong[i>>6] |= 1 << (uint(i) & 63)
+		}
+		ghr <<= 1
+		if taken {
+			ghr |= 1
+		}
+	}
+	g.ghr = ghr
+}
 
 // PAs is the per-address-history two-level adaptive predictor of §3.
 type PAs struct {
@@ -162,9 +195,55 @@ func (p *PAs) Update(pc uint64, taken bool) {
 	}
 }
 
+// PredictUpdate implements PredictUpdater: the BHT entry is loaded and the
+// PHT index computed once for the fused predict-then-update step.
+func (p *PAs) PredictUpdate(pc uint64, taken bool) bool {
+	if p.k == 0 {
+		return p.pht.PredictUpdate(pcIndex(pc)&p.addrMask, taken)
+	}
+	i := pcIndex(pc) & p.bhtMask
+	hist := p.bht[i]
+	idx := (pcIndex(pc)&p.addrMask)<<uint(p.k) | (hist & p.histMask)
+	predicted := p.pht.PredictUpdate(idx, taken)
+	hist <<= 1
+	if taken {
+		hist |= 1
+	}
+	p.bht[i] = hist
+	return predicted
+}
+
 // SizeBits implements Predictor.
 func (p *PAs) SizeBits() int64 {
 	return p.pht.SizeBits() + int64(len(p.bht))*int64(p.k)
+}
+
+// SweepChunk is the batch fused step over one decoded trace chunk; see
+// GAs.SweepChunk. Behaviour is identical to n PredictUpdate calls.
+func (p *PAs) SweepChunk(pcs, dirs []uint64, n int, wrong []uint64) {
+	if p.k == 0 {
+		for i := 0; i < n; i++ {
+			taken := dirs[i>>6]&(1<<(uint(i)&63)) != 0
+			if p.pht.PredictUpdate(pcIndex(pcs[i])&p.addrMask, taken) != taken {
+				wrong[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		taken := dirs[i>>6]&(1<<(uint(i)&63)) != 0
+		bi := pcIndex(pcs[i]) & p.bhtMask
+		hist := p.bht[bi]
+		idx := (pcIndex(pcs[i])&p.addrMask)<<uint(p.k) | (hist & p.histMask)
+		if p.pht.PredictUpdate(idx, taken) != taken {
+			wrong[i>>6] |= 1 << (uint(i) & 63)
+		}
+		hist <<= 1
+		if taken {
+			hist |= 1
+		}
+		p.bht[bi] = hist
+	}
 }
 
 // GAg is the degenerate global predictor whose PHT is indexed purely by k
@@ -197,6 +276,16 @@ func (g *GAg) Update(pc uint64, taken bool) {
 	if taken {
 		g.ghr |= 1
 	}
+}
+
+// PredictUpdate implements PredictUpdater.
+func (g *GAg) PredictUpdate(pc uint64, taken bool) bool {
+	predicted := g.pht.PredictUpdate(g.ghr&g.mask, taken)
+	g.ghr <<= 1
+	if taken {
+		g.ghr |= 1
+	}
+	return predicted
 }
 
 // SizeBits implements Predictor.
@@ -246,6 +335,19 @@ func (p *PAg) Update(pc uint64, taken bool) {
 	if taken {
 		p.bht[i] |= 1
 	}
+}
+
+// PredictUpdate implements PredictUpdater.
+func (p *PAg) PredictUpdate(pc uint64, taken bool) bool {
+	i := pcIndex(pc) & p.bhtMask
+	hist := p.bht[i]
+	predicted := p.pht.PredictUpdate(hist&p.mask, taken)
+	hist <<= 1
+	if taken {
+		hist |= 1
+	}
+	p.bht[i] = hist
+	return predicted
 }
 
 // SizeBits implements Predictor.

@@ -95,7 +95,7 @@ func runPredictorOverSuite(c *Context, build func(in *sim.InputResult) bpred.Pre
 		p := build(in)
 		sizeBits = p.SizeBits()
 		sink := bpred.NewSink(p)
-		in.Spec.Run(sink, c.Cfg.Scale)
+		in.Replay(sink, c.Cfg.Scale)
 		misses += sink.Res.Misses
 		events += sink.Res.Events
 	}
@@ -201,7 +201,7 @@ func runConfidenceAblation(c *Context, w io.Writer) error {
 				est.Update(pc, correct)
 			}
 		})
-		in.Spec.Run(sink, c.Cfg.Scale)
+		in.Replay(sink, c.Cfg.Scale)
 	}
 	tbl := report.Table{
 		Title:   "A2 — Confidence estimation over PAs(k=8) (suite-wide)",

@@ -62,7 +62,7 @@ func runInterferenceAblation(c *Context, w io.Writer) error {
 				tr.Observe(g.Index(pc), pc, taken)
 				g.Update(pc, taken)
 			})
-			in.Spec.Run(sink, c.Cfg.Scale)
+			in.Replay(sink, c.Cfg.Scale)
 			s := tr.Stats()
 			acc.alias.Updates += s.Updates
 			acc.alias.Aliased += s.Aliased

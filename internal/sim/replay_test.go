@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"btr/internal/rng"
+	"btr/internal/workload"
+)
+
+// TestReplayMatchesRegenerate is the golden equivalence test for the
+// record-once/replay-many engine: for several real workloads, the sharded
+// replay pipeline must reproduce the regenerate-twice pipeline's Exec,
+// Miss, and HardDistances counts bit-for-bit.
+func TestReplayMatchesRegenerate(t *testing.T) {
+	workloads := []struct{ bench, input string }{
+		{"compress", "bigtest.in"},
+		{"gcc", "genoutput.i"},
+		{"vortex", "vortex.lit"},
+		{"perl", "primes.pl"},
+	}
+	for _, wl := range workloads {
+		wl := wl
+		t.Run(wl.bench+"/"+wl.input, func(t *testing.T) {
+			t.Parallel()
+			spec := testSpec(t, wl.bench, wl.input)
+			cfg := Config{Scale: testScale}
+
+			replay := RunInput(spec, cfg)
+
+			legacy := cfg
+			legacy.NoRecord = true
+			direct := RunInput(spec, legacy)
+
+			if replay.Events != direct.Events || replay.Sites != direct.Sites {
+				t.Fatalf("events/sites diverged: %d/%d vs %d/%d",
+					replay.Events, replay.Sites, direct.Events, direct.Sites)
+			}
+			if replay.Exec != direct.Exec {
+				t.Fatal("Exec attribution diverged")
+			}
+			if replay.Miss != direct.Miss {
+				for kind := Kind(0); kind < NumKinds; kind++ {
+					for k := 0; k < NumHistories; k++ {
+						if replay.Miss[kind][k] != direct.Miss[kind][k] {
+							t.Fatalf("Miss diverged at %v k=%d: replay total %d, direct total %d",
+								kind, k, replay.Miss[kind][k].Total(), direct.Miss[kind][k].Total())
+						}
+					}
+				}
+				t.Fatal("Miss diverged")
+			}
+			if !reflect.DeepEqual(replay.HardDistances.Bins, direct.HardDistances.Bins) {
+				t.Fatalf("HardDistances diverged: %v vs %v",
+					replay.HardDistances.Bins, direct.HardDistances.Bins)
+			}
+			if !reflect.DeepEqual(replay.Classes, direct.Classes) {
+				t.Fatal("class maps diverged")
+			}
+		})
+	}
+}
+
+// TestReplayBankWorkerCountIrrelevant pins the sharding determinism claim:
+// any worker count produces identical miss counts.
+func TestReplayBankWorkerCountIrrelevant(t *testing.T) {
+	spec := testSpec(t, "m88ksim", "ctl.lit")
+	base := RunInput(spec, Config{Scale: testScale, BankWorkers: 1})
+	for _, workers := range []int{2, 7, int(NumKinds) * NumHistories} {
+		got := RunInput(spec, Config{Scale: testScale, BankWorkers: workers})
+		if got.Miss != base.Miss || got.Exec != base.Exec {
+			t.Fatalf("BankWorkers=%d changed results", workers)
+		}
+	}
+}
+
+// TestReplayChunkSizeIrrelevant pins that chunk granularity is invisible
+// in results, including chunk sizes that leave a partial final chunk.
+func TestReplayChunkSizeIrrelevant(t *testing.T) {
+	spec := testSpec(t, "li", "ref.lsp")
+	base := RunInput(spec, Config{Scale: testScale})
+	for _, chunk := range []int{64, 1000, 1 << 20} {
+		got := RunInput(spec, Config{Scale: testScale, ChunkEvents: chunk})
+		if got.Miss != base.Miss || got.Exec != base.Exec {
+			t.Fatalf("ChunkEvents=%d changed results", chunk)
+		}
+		if !reflect.DeepEqual(got.HardDistances.Bins, base.HardDistances.Bins) {
+			t.Fatalf("ChunkEvents=%d changed hard distances", chunk)
+		}
+	}
+}
+
+// TestRunSuitePanickingWorkloadDropped pins suite resilience: a workload
+// whose generator panics is dropped and reported, and the rest of the
+// suite completes.
+func TestRunSuitePanickingWorkloadDropped(t *testing.T) {
+	bad := workload.NewSpec("synthetic", "panics", 100, 1,
+		func(tr *workload.T, r *rng.Rand, target int64) {
+			panic("synthetic workload failure")
+		})
+	good := testSpec(t, "perl", "primes.pl")
+	suite := RunSuite([]workload.Spec{bad, good}, Config{Scale: testScale, Workers: 2})
+	if suite.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", suite.Dropped)
+	}
+	if len(suite.Inputs) != 1 || suite.Inputs[0].Spec.Bench != "perl" {
+		t.Fatalf("surviving inputs wrong: %d", len(suite.Inputs))
+	}
+	if suite.TotalEvents() == 0 {
+		t.Fatal("surviving workload's events lost")
+	}
+}
+
+// TestAggregateSkipsNil pins the nil-guard: a workload that produced no
+// result must be dropped and reported, not panic the suite.
+func TestAggregateSkipsNil(t *testing.T) {
+	spec := testSpec(t, "perl", "primes.pl")
+	res := RunInput(spec, Config{Scale: testScale})
+	suite := Aggregate([]*InputResult{nil, res, nil}, Config{Scale: testScale})
+	if suite.Dropped != 2 {
+		t.Fatalf("Dropped = %d, want 2", suite.Dropped)
+	}
+	if len(suite.Inputs) != 1 {
+		t.Fatalf("Inputs kept %d entries, want 1", len(suite.Inputs))
+	}
+	if suite.Exec != res.Exec {
+		t.Fatal("surviving input's counts lost")
+	}
+	if suite.TotalEvents() != res.Events {
+		t.Fatal("TotalEvents must ignore dropped inputs")
+	}
+	if got := Aggregate(nil, Config{}); got.Dropped != 0 || len(got.Inputs) != 0 {
+		t.Fatal("aggregating nothing must yield an empty suite")
+	}
+}

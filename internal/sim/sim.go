@@ -3,16 +3,25 @@
 // produces the class-attributed miss statistics behind every figure and
 // table in the paper.
 //
-// Pass 1 replays a workload into a core.Profiler, yielding each static
-// branch's taken/transition profile and joint class. Pass 2 replays the
-// identical stream into a bank of predictors — PAs(k) and GAs(k) for every
-// history length k — attributing each hit/miss to the branch's joint class
-// from pass 1. Classification uses the *complete* run's rates, exactly as
-// the paper's profiling does.
+// Pass 1 runs a workload into a core.Profiler, yielding each static
+// branch's taken/transition profile and joint class, while a chunked
+// trace.ChunkRecorder captures the stream. Pass 2 replays the recorded
+// chunks — not the generator — into a bank of predictors, PAs(k) and
+// GAs(k) for every history length k, attributing each hit/miss to the
+// branch's joint class from pass 1. Classification uses the *complete*
+// run's rates, exactly as the paper's profiling does.
+//
+// Because every predictor is a pure function of the event stream
+// (bpred's contract), the bank sweep shards its (kind, k) slots across
+// goroutines, each replaying the recorded trace independently; the
+// result is bit-for-bit identical to driving the bank serially.
 package sim
 
 import (
 	"fmt"
+	mathbits "math/bits"
+	"runtime"
+	"sync"
 
 	"btr/internal/bpred"
 	"btr/internal/core"
@@ -58,6 +67,18 @@ type Config struct {
 	// HardDistanceWindow is the number of Figure 15 distance bins; the
 	// last bin is open ("8+"). 0 means 8.
 	HardDistanceWindow int
+	// BankWorkers bounds the goroutines sharding one input's PAs/GAs
+	// predictor-bank sweep over its recorded trace; 0 means GOMAXPROCS.
+	// It is capped at the number of bank slots (NumKinds*NumHistories).
+	BankWorkers int
+	// ChunkEvents sets the recorded trace's chunk granularity in events;
+	// 0 means trace.DefaultChunkEvents.
+	ChunkEvents int
+	// NoRecord disables the record-once/replay-many engine: every pass
+	// regenerates the workload and the bank runs serially, as the original
+	// pipeline did. It exists as the equivalence baseline and for
+	// memory-constrained runs; results are bit-for-bit identical.
+	NoRecord bool
 }
 
 func (c Config) window() int {
@@ -65,6 +86,17 @@ func (c Config) window() int {
 		return 8
 	}
 	return c.HardDistanceWindow
+}
+
+func (c Config) bankWorkers() int {
+	n := c.BankWorkers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if max := int(NumKinds) * NumHistories; n > max {
+		n = max
+	}
+	return n
 }
 
 // JointCounts is an 11x11 matrix of per-joint-class event counts.
@@ -133,6 +165,21 @@ type InputResult struct {
 	// consecutive executions of hard (5/5) branches: bins 1..window,
 	// last bin open (Figure 15). Bin 0 is unused.
 	HardDistances *stats.Histogram
+
+	// Recorded is the input's event stream as captured during pass 1;
+	// downstream analyses (ablations, confidence studies) replay it
+	// instead of re-running the generator. Nil when Config.NoRecord.
+	Recorded *trace.ChunkedTrace
+}
+
+// Replay drives the input's event stream through sink: the recorded trace
+// when present, otherwise a fresh generator run at the given scale.
+func (r *InputResult) Replay(sink trace.Sink, scale float64) {
+	if r.Recorded != nil {
+		r.Recorded.Replay(sink)
+		return
+	}
+	r.Spec.Run(sink, scale)
 }
 
 // ProfileInput runs pass 1 only: profile and classify one input.
@@ -143,7 +190,212 @@ func ProfileInput(spec workload.Spec, scale float64) (*core.Profiler, core.Class
 }
 
 // RunInput runs the full two-pass pipeline for one input.
+//
+// The default engine records the stream once during the profiling pass
+// and drives pass 2 by replaying the recorded chunks, sharding the
+// predictor bank across cfg.BankWorkers goroutines. Set cfg.NoRecord to
+// regenerate the workload per pass with a serial bank instead; both paths
+// produce identical results.
 func RunInput(spec workload.Spec, cfg Config) *InputResult {
+	if cfg.NoRecord {
+		return runInputRegenerate(spec, cfg)
+	}
+
+	// Pass 1: profile and record in one generator run.
+	profiler := core.NewProfiler()
+	recorder := trace.NewChunkRecorder(cfg.ChunkEvents)
+	spec.Run(trace.Tee(profiler, recorder), cfg.Scale)
+	recorded := recorder.Trace()
+	classes := core.Classify(profiler.Profiles())
+
+	res := &InputResult{
+		Spec:          spec,
+		Events:        profiler.Events(),
+		Sites:         profiler.Sites(),
+		Profiles:      profiler.Profiles(),
+		Classes:       classes,
+		HardDistances: stats.NewHistogram(cfg.window() + 1),
+		Recorded:      recorded,
+	}
+
+	// Attribution pre-pass: one replay resolves each event's joint class,
+	// filling Exec and the Figure 15 distances and leaving a per-event
+	// class column so the bank workers index an array instead of hitting
+	// the class map once per slot per event. Workload PCs are
+	// base + site<<2 with dense site IDs, so when the PC range is compact
+	// the class map itself collapses into a direct-indexed table.
+	const hardIdx = 5*core.NumClasses + 5 // the 5/5 joint class, flattened
+	lookup := denseClasses(classes)
+	classIdx := make([]uint8, recorded.Events())
+	var pos, lastHard int64
+	sawHard := false
+	rep := recorded.NewReplayer()
+	for {
+		pcs, _, n, ok := rep.NextChunk()
+		if !ok {
+			break
+		}
+		for i := 0; i < n; i++ {
+			var ci uint8
+			if lookup.dense != nil {
+				ci = lookup.dense[(pcs[i]-lookup.minPC)>>2]
+			} else {
+				jc := classes[pcs[i]]
+				ci = uint8(int(jc.Taken)*core.NumClasses + int(jc.Transition))
+			}
+			res.Exec[ci/core.NumClasses][ci%core.NumClasses]++
+			classIdx[pos] = ci
+			pos++
+			if ci == hardIdx {
+				if sawHard {
+					res.HardDistances.Add(int(pos - lastHard))
+				}
+				sawHard = true
+				lastHard = pos
+			}
+		}
+	}
+
+	// Pass 2: shard the (kind, k) bank slots round-robin across workers.
+	// Each worker replays the trace chunk-major — one decode per chunk,
+	// shared by all of its slots — so decode cost scales with workers, not
+	// with the 34 bank slots, and a single-core run decodes the trace
+	// exactly once. Each slot's miss counts are a pure function of the
+	// recorded stream and land in a distinct cell of res.Miss, so no
+	// synchronisation beyond the WaitGroup is needed and the sharding
+	// cannot change results.
+	workers := cfg.bankWorkers()
+	numSlots := int(NumKinds) * NumHistories
+	misses := make([][core.NumClasses * core.NumClasses]int64, numSlots)
+	groups := make([][]bankSlot, workers)
+	for i := 0; i < numSlots; i++ {
+		kind, k := Kind(i/NumHistories), i%NumHistories
+		var p chunkSweeper
+		switch kind {
+		case KindPAs:
+			p = bpred.NewPAs(k)
+		case KindGAs:
+			p = bpred.NewGAs(k)
+		}
+		groups[i%workers] = append(groups[i%workers], bankSlot{p: p, miss: &misses[i]})
+	}
+	var wg sync.WaitGroup
+	for _, group := range groups {
+		wg.Add(1)
+		go func(group []bankSlot) {
+			defer wg.Done()
+			sweepSlots(group, recorded, classIdx)
+		}(group)
+	}
+	wg.Wait()
+	for i := 0; i < numSlots; i++ {
+		kind, k := Kind(i/NumHistories), i%NumHistories
+		for t := 0; t < core.NumClasses; t++ {
+			for tr := 0; tr < core.NumClasses; tr++ {
+				res.Miss[kind][k][t][tr] = misses[i][t*core.NumClasses+tr]
+			}
+		}
+	}
+	return res
+}
+
+// classLookup resolves branch PCs to flattened joint-class indices,
+// either through a direct-indexed table (dense != nil) or the class map.
+type classLookup struct {
+	dense []uint8
+	minPC uint64
+}
+
+// denseClasses flattens a class map into a direct-indexed table when its
+// PC range is compact (instrumented workloads always are: PCs are
+// base + site<<2 with small site IDs). A sparse map — e.g. a stored
+// trace with arbitrary addresses — keeps map lookups.
+func denseClasses(classes core.ClassMap) classLookup {
+	if len(classes) == 0 {
+		return classLookup{}
+	}
+	minPC, maxPC := ^uint64(0), uint64(0)
+	aligned := true
+	for pc := range classes {
+		if pc < minPC {
+			minPC = pc
+		}
+		if pc > maxPC {
+			maxPC = pc
+		}
+		aligned = aligned && pc&3 == 0
+	}
+	// Unaligned PCs would alias under the >>2 index; only word-aligned
+	// streams (everything workload.T emits) take the dense path.
+	if !aligned {
+		return classLookup{}
+	}
+	span := (maxPC-minPC)>>2 + 1
+	// Cap the table at 4 MiB of entries; beyond that the map wins.
+	if span > 1<<22 {
+		return classLookup{}
+	}
+	dense := make([]uint8, span)
+	for pc, jc := range classes {
+		dense[(pc-minPC)>>2] = uint8(int(jc.Taken)*core.NumClasses + int(jc.Transition))
+	}
+	return classLookup{dense: dense, minPC: minPC}
+}
+
+// chunkSweeper is the batch protocol the bank's predictors provide: one
+// call advances the predictor over a whole decoded chunk and reports
+// mispredictions as a bitmap, keeping the per-event loop concrete inside
+// the predictor (see bpred.PAs.SweepChunk).
+type chunkSweeper interface {
+	SweepChunk(pcs, dirs []uint64, n int, wrong []uint64)
+}
+
+// bankSlot is one predictor configuration of the bank plus its flat
+// class-attributed miss counters.
+type bankSlot struct {
+	p    chunkSweeper
+	miss *[core.NumClasses * core.NumClasses]int64
+}
+
+// sweepSlots replays the recorded trace through a group of bank slots,
+// chunk-major: each chunk is decoded once, every slot's predictor batch-
+// processes the decoded columns into a misprediction bitmap, and the set
+// bits are attributed to the per-event joint classes in classIdx.
+func sweepSlots(slots []bankSlot, recorded *trace.ChunkedTrace, classIdx []uint8) {
+	rep := recorded.NewReplayer()
+	var wrong []uint64
+	var base int64
+	for {
+		pcs, dirs, n, ok := rep.NextChunk()
+		if !ok {
+			return
+		}
+		words := (n + 63) / 64
+		if len(wrong) < words {
+			wrong = make([]uint64, words)
+		}
+		cls := classIdx[base : base+int64(n)]
+		for _, s := range slots {
+			for w := range wrong[:words] {
+				wrong[w] = 0
+			}
+			s.p.SweepChunk(pcs, dirs, n, wrong)
+			miss := s.miss
+			for w := 0; w < words; w++ {
+				for bits := wrong[w]; bits != 0; bits &= bits - 1 {
+					miss[cls[w*64+mathbits.TrailingZeros64(bits)]]++
+				}
+			}
+		}
+		base += int64(n)
+	}
+}
+
+// runInputRegenerate is the original regenerate-twice pipeline: pass 2
+// re-runs the workload generator and drives the whole predictor bank
+// serially from one sink. RunInput's replay engine must match it
+// bit-for-bit (see TestReplayMatchesRegenerate).
+func runInputRegenerate(spec workload.Spec, cfg Config) *InputResult {
 	profiler, classes := ProfileInput(spec, cfg.Scale)
 
 	res := &InputResult{

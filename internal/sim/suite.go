@@ -27,38 +27,71 @@ type SuiteResult struct {
 
 	// HardByBench histograms Figure 15 distances per benchmark.
 	HardByBench map[string]*stats.Histogram
+
+	// Dropped counts nil per-input results skipped during aggregation
+	// (a workload that failed to produce a result, e.g. panicked).
+	Dropped int
 }
 
 // RunSuite runs every spec through the two-pass pipeline, in parallel up
-// to cfg.Workers, and aggregates.
+// to cfg.Workers, and aggregates. The pool is bounded: exactly
+// min(Workers, len(specs)) goroutines pull input indices from a shared
+// queue, so worker count — not just concurrency — stays fixed no matter
+// how large the suite is.
 func RunSuite(specs []workload.Spec, cfg Config) *SuiteResult {
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	results := make([]*InputResult, len(specs))
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i, spec := range specs {
-		wg.Add(1)
-		go func(i int, spec workload.Spec) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i] = RunInput(spec, cfg)
-		}(i, spec)
+	if workers > len(specs) {
+		workers = len(specs)
 	}
+	results := make([]*InputResult, len(specs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				runOne(specs[i], cfg, &results[i])
+			}
+		}()
+	}
+	for i := range specs {
+		jobs <- i
+	}
+	close(jobs)
 	wg.Wait()
 	return Aggregate(results, cfg)
 }
 
-// Aggregate folds per-input results into a SuiteResult.
+// runOne runs a single input, converting a panicking workload into a nil
+// result (reported by Aggregate as Dropped) so one bad generator cannot
+// take down a whole suite run.
+func runOne(spec workload.Spec, cfg Config, out **InputResult) {
+	defer func() {
+		if recover() != nil {
+			*out = nil
+		}
+	}()
+	*out = RunInput(spec, cfg)
+}
+
+// Aggregate folds per-input results into a SuiteResult. Nil entries —
+// inputs that never produced a result — are skipped and reported via
+// Dropped rather than panicking the whole suite.
 func Aggregate(results []*InputResult, cfg Config) *SuiteResult {
 	suite := &SuiteResult{
-		Inputs:      results,
+		Inputs:      make([]*InputResult, 0, len(results)),
 		HardByBench: make(map[string]*stats.Histogram),
 	}
 	for _, r := range results {
+		if r == nil {
+			suite.Dropped++
+			continue
+		}
+		suite.Inputs = append(suite.Inputs, r)
 		suite.Distribution.AddProfiles(r.Profiles)
 		suite.Exec.Add(&r.Exec)
 		for kind := Kind(0); kind < NumKinds; kind++ {
