@@ -88,6 +88,22 @@ func BenchmarkSuiteSweepRegenerate(b *testing.B) {
 	benchSweep(b, SimConfig{Scale: 1.0, NoRecord: true})
 }
 
+// BenchmarkSuiteSweepScheduled measures the same pipeline driven by the
+// global work-stealing scheduler (the RunSuite default): the profile
+// task fans its 34-slot bank sweep out as worker-sized batches into one
+// queue, so even this single-input suite fills every core. It must beat
+// BenchmarkSuiteSweepRegenerate wall-clock at GOMAXPROCS > 1 and stay
+// within noise at GOMAXPROCS = 1 (one batch, one trace decode).
+func BenchmarkSuiteSweepScheduled(b *testing.B) {
+	benchSweepSuite(b, SimConfig{Scale: 1.0})
+}
+
+// BenchmarkSuiteSweepLegacyPool is the PR-1 nested-pool suite engine
+// over the same input, for isolating the scheduler's contribution.
+func BenchmarkSuiteSweepLegacyPool(b *testing.B) {
+	benchSweepSuite(b, SimConfig{Scale: 1.0, NoSched: true})
+}
+
 func benchSweep(b *testing.B, cfg SimConfig) {
 	spec, err := FindWorkload("gcc", "genoutput.i")
 	if err != nil {
@@ -98,6 +114,21 @@ func benchSweep(b *testing.B, cfg SimConfig) {
 	for i := 0; i < b.N; i++ {
 		res := RunInput(spec, cfg)
 		events += res.Events
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+func benchSweepSuite(b *testing.B, cfg SimConfig) {
+	spec, err := FindWorkload("gcc", "genoutput.i")
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := []WorkloadSpec{spec}
+	b.ResetTimer()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		suite := RunSuite(specs, cfg)
+		events += suite.TotalEvents()
 	}
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
 }

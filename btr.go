@@ -91,8 +91,18 @@ type (
 	SuiteResult = sim.SuiteResult
 	// InputResult is the per-input two-pass result.
 	InputResult = sim.InputResult
+	// InputError records one dropped suite input with its recovered cause.
+	InputError = sim.InputError
 	// PredictorKind selects PAs or GAs in sweep queries.
 	PredictorKind = sim.Kind
+
+	// TraceCache shares recorded workload traces across runs and
+	// experiment contexts, keyed by (workload name, spec fingerprint,
+	// scale, chunk size), optionally spilling to BTR1 files. Assign one
+	// to SimConfig.Cache.
+	TraceCache = trace.Cache
+	// TraceCacheKey identifies one recording in a TraceCache.
+	TraceCacheKey = trace.CacheKey
 
 	// Experiment regenerates one paper table or figure.
 	Experiment = experiments.Experiment
@@ -169,9 +179,23 @@ func RunInput(spec WorkloadSpec, cfg SimConfig) *InputResult {
 }
 
 // RunSuite runs the two-pass pipeline over the given specs and aggregates
-// (dynamic-occurrence weighted) exactly as the paper reports.
+// (dynamic-occurrence weighted) exactly as the paper reports. The default
+// engine is a global work-stealing scheduler over (input, bank-batch)
+// tasks; cfg.NoSched selects the legacy nested pools, bit-identically.
 func RunSuite(specs []WorkloadSpec, cfg SimConfig) *SuiteResult {
 	return sim.RunSuite(specs, cfg)
+}
+
+// DefaultTraceCacheBytes is the resident-column budget for callers with
+// no better number (1 GiB).
+const DefaultTraceCacheBytes = trace.DefaultCacheBytes
+
+// NewTraceCache builds a recorded-trace cache bounded to maxBytes of
+// resident columns (<= 0 means unbounded). A non-empty spillDir makes it
+// persistent: traces are written through as BTR1 files and reloaded on
+// demand, including by later processes pointed at the same directory.
+func NewTraceCache(maxBytes int64, spillDir string) *TraceCache {
+	return trace.NewCache(maxBytes, spillDir)
 }
 
 // Predictor constructors (the paper's §3 configurations and the

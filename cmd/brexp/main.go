@@ -3,6 +3,7 @@
 // Usage:
 //
 //	brexp [-scale 1.0] [-workers N] [-out results] [-run all|T1,F13,...]
+//	      [-sched=false] [-cachedir dir]
 //
 // Each experiment is written to <out>/<id>.txt; -list shows the catalog.
 package main
@@ -20,10 +21,12 @@ import (
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale; 1.0 = Table 1 counts /1000")
-	workers := flag.Int("workers", 0, "parallel inputs (0 = GOMAXPROCS)")
-	bankWorkers := flag.Int("bankworkers", 0, "goroutines sharding each input's predictor bank (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "scheduler workers (0 = GOMAXPROCS)")
+	bankWorkers := flag.Int("bankworkers", 0, "sweep batches per input's predictor bank (0 = GOMAXPROCS)")
 	chunk := flag.Int("chunk", 0, "recorded-trace chunk size in events (0 = default)")
 	noRecord := flag.Bool("norecord", false, "regenerate workloads per pass instead of record/replay (slower, lower memory)")
+	sched := flag.Bool("sched", true, "global work-stealing scheduler over (input, bank-batch) tasks; false = legacy nested pools")
+	cachedir := flag.String("cachedir", "", "spill recorded traces to BTR1 files here and reuse them across runs (delete the dir when workloads change)")
 	out := flag.String("out", "results", "output directory")
 	run := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 	list := flag.Bool("list", false, "list experiments and exit")
@@ -53,13 +56,18 @@ func main() {
 		fatal(err)
 	}
 
-	ctx := btr.NewExperimentContext(btr.SimConfig{
+	cfg := btr.SimConfig{
 		Scale:       *scale,
 		Workers:     *workers,
 		BankWorkers: *bankWorkers,
 		ChunkEvents: *chunk,
 		NoRecord:    *noRecord,
-	})
+		NoSched:     !*sched,
+	}
+	if *cachedir != "" {
+		cfg.Cache = btr.NewTraceCache(btr.DefaultTraceCacheBytes, *cachedir)
+	}
+	ctx := btr.NewExperimentContext(cfg)
 	start := time.Now()
 	for _, id := range ids {
 		path := filepath.Join(*out, id+".txt")
@@ -85,8 +93,18 @@ func main() {
 			fmt.Println(string(data))
 		}
 	}
-	fmt.Printf("done: %d experiments, %d dynamic branches, %.1fs total\n",
-		len(ids), ctx.Suite().TotalEvents(), time.Since(start).Seconds())
+	suite := ctx.Suite()
+	for _, d := range suite.Dropped {
+		fmt.Fprintf(os.Stderr, "brexp: dropped input %v\n", d)
+	}
+	if cfg.Cache != nil {
+		if s := cfg.Cache.Stats(); s.SpillFailures > 0 {
+			fmt.Fprintf(os.Stderr, "brexp: warning: %d trace spills failed; -cachedir %s is not persisting (memory reuse unaffected)\n",
+				s.SpillFailures, *cachedir)
+		}
+	}
+	fmt.Printf("done: %d experiments, %d dynamic branches, %d dropped inputs, %.1fs total\n",
+		len(ids), suite.TotalEvents(), len(suite.Dropped), time.Since(start).Seconds())
 }
 
 func fatal(err error) {

@@ -29,21 +29,39 @@ func main() {
 	tracePath := flag.String("trace", "", "BTR1 trace file instead of a workload")
 	pred := flag.String("pred", "pas", "predictor kind")
 	k := flag.Int("k", 8, "history length")
+	cachedir := flag.String("cachedir", "", "reuse recorded workload traces as BTR1 files in this directory across invocations (delete the dir when workloads change)")
 	flag.Parse()
 
 	// Workloads are recorded once into an in-memory chunked trace: the
 	// profile-guided hybrids replay it for their profiling pass and the
 	// measurement pass replays it again, so the generator runs once no
-	// matter how many passes the predictor needs.
+	// matter how many passes the predictor needs. With -cachedir the
+	// recording persists as a BTR1 spill file, so repeated invocations
+	// skip the generator entirely.
 	var recorded *trace.ChunkedTrace
 	if *tracePath == "" && *bench != "" && *input != "" {
 		spec, err := btr.FindWorkload(*bench, *input)
 		if err != nil {
 			fatal(err)
 		}
-		rec := trace.NewChunkRecorder(0)
-		spec.Run(rec, *scale)
-		recorded = rec.Trace()
+		var cache *trace.Cache
+		key := trace.CacheKey{Name: spec.Name(), Fingerprint: spec.Fingerprint(), Scale: *scale}
+		if *cachedir != "" {
+			cache = trace.NewCache(trace.DefaultCacheBytes, *cachedir)
+			if rec, ok := cache.Get(key); ok {
+				recorded = rec
+			}
+		}
+		if recorded == nil {
+			rec := trace.NewChunkRecorder(0)
+			spec.Run(rec, *scale)
+			recorded = rec.Trace()
+			if cache != nil {
+				if err := cache.Put(key, recorded); err != nil {
+					fmt.Fprintln(os.Stderr, "brsim: warning:", err)
+				}
+			}
+		}
 	}
 
 	p, err := buildPredictor(*pred, *k, recorded)

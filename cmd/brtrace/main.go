@@ -6,6 +6,10 @@
 //	brtrace -bench gcc -input expr.i -o expr.btr     # record a trace
 //	brtrace -info expr.btr                           # summarise a trace
 //	brtrace -text expr.btr                           # dump as text
+//
+// Recording and -info also report the in-memory chunked format's stats
+// (chunks, events, encoded bytes, bytes/event) alongside the BTR1 file
+// codec, for quick trace audits.
 package main
 
 import (
@@ -43,11 +47,21 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		// One pass feeds both the stream summary and a model of the
+		// in-memory chunked recording (columns are never retained, so
+		// arbitrarily large traces audit in O(1) memory), reporting
+		// the file codec and the simulator's resident format side by
+		// side.
 		sink := trace.NewStatsSink()
-		if _, err := trace.Copy(sink, r); err != nil {
+		mem := trace.NewChunkStatsSink(0)
+		if _, err := trace.Copy(trace.Tee(sink, mem), r); err != nil {
 			fatal(err)
 		}
 		fmt.Println(sink.Stats())
+		if fi, err := f.Stat(); err == nil {
+			fmt.Printf("btr1: file_bytes=%d\n", fi.Size())
+		}
+		fmt.Printf("chunked: %s\n", mem.Stats())
 	case *text != "":
 		f, err := os.Open(*text)
 		if err != nil {
@@ -74,7 +88,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		n := spec.Run(w, *scale)
+		// Model the in-memory chunked form alongside the file so the
+		// audit line shows what the simulator would hold resident.
+		mem := trace.NewChunkStatsSink(0)
+		n := spec.Run(trace.Tee(w, mem), *scale)
 		if err := w.Close(); err != nil {
 			fatal(err)
 		}
@@ -82,6 +99,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %d events to %s\n", n, *out)
+		fmt.Printf("chunked: %s\n", mem.Stats())
 	default:
 		flag.Usage()
 		os.Exit(2)

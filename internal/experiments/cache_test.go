@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"btr/internal/rng"
+	"btr/internal/sim"
+	"btr/internal/trace"
+	"btr/internal/workload"
+)
+
+// countingSpecs builds a tiny deterministic suite whose generator runs
+// are observable through the returned counter.
+func countingSpecs(runs *atomic.Int64) []workload.Spec {
+	gen := func(t *workload.T, r *rng.Rand, target int64) {
+		runs.Add(1)
+		for t.N() < target {
+			t.B(0, r.Uint64()&3 != 0)
+			t.B(1, t.N()&1 == 0)
+		}
+	}
+	return []workload.Spec{
+		workload.NewSpec("synthA", "in", 2000, 11, gen),
+		workload.NewSpec("synthB", "in", 3000, 23, gen),
+	}
+}
+
+// TestSecondContextHitsCache is the cross-context reuse guarantee: a
+// second context with matching (scale, chunk) config performs ZERO
+// generator runs — every input replays the first context's recording.
+func TestSecondContextHitsCache(t *testing.T) {
+	var runs atomic.Int64
+	specs := countingSpecs(&runs)
+	cache := trace.NewCache(0, "")
+	cfg := sim.Config{Scale: 1, Workers: 2, Cache: cache}
+
+	ctx1 := &Context{Cfg: cfg, Specs: specs}
+	first := ctx1.Suite()
+	if got := runs.Load(); got != int64(len(specs)) {
+		t.Fatalf("first context ran generators %d times, want %d", got, len(specs))
+	}
+
+	ctx2 := &Context{Cfg: cfg, Specs: specs}
+	second := ctx2.Suite()
+	if got := runs.Load(); got != int64(len(specs)) {
+		t.Fatalf("second context ran generators: %d total runs, want %d", got, len(specs))
+	}
+	if s := cache.Stats(); s.Hits < int64(len(specs)) {
+		t.Fatalf("cache stats %+v: want >= %d hits", s, len(specs))
+	}
+	// Replayed-from-cache results must equal generated results.
+	if first.Exec != second.Exec || first.Miss != second.Miss {
+		t.Fatal("cache-served suite diverged from generated suite")
+	}
+
+	// A context at a different scale must not share those recordings.
+	other := cfg
+	other.Scale = 0.5
+	(&Context{Cfg: other, Specs: specs}).Suite()
+	if got := runs.Load(); got != int64(2*len(specs)) {
+		t.Fatalf("mismatched scale reused recordings: %d runs, want %d", got, 2*len(specs))
+	}
+}
+
+// TestNewContextDefaultsToSharedCache pins that contexts built through
+// NewContext participate in the process-wide cache (unless recording is
+// off or a private cache is supplied).
+func TestNewContextDefaultsToSharedCache(t *testing.T) {
+	c1 := NewContext(sim.Config{Scale: 0.01})
+	c2 := NewContext(sim.Config{Scale: 0.01})
+	if c1.Cfg.Cache == nil || c1.Cfg.Cache != c2.Cfg.Cache {
+		t.Fatal("contexts must share the process-wide cache by default")
+	}
+	if NewContext(sim.Config{NoRecord: true}).Cfg.Cache != nil {
+		t.Fatal("NoRecord context must not get a cache")
+	}
+	private := trace.NewCache(0, "")
+	if NewContext(sim.Config{Cache: private}).Cfg.Cache != private {
+		t.Fatal("explicit cache must be kept")
+	}
+}

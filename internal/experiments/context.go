@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"btr/internal/sim"
+	"btr/internal/trace"
 	"btr/internal/workload"
 )
 
@@ -24,8 +25,31 @@ type Context struct {
 	suite *sim.SuiteResult
 }
 
-// NewContext builds a context over the full Table 1 suite.
+// sharedCache is the process-wide recorded-trace cache. Every context
+// built without an explicit cache publishes and consults recordings
+// here, keyed by (workload name, spec fingerprint, scale, chunk size),
+// so a second context with matching config — an ablation rerun, a
+// confidence study, an interference sweep — replays the first context's
+// recordings instead of running any generator again.
+var (
+	sharedCacheOnce sync.Once
+	sharedCacheInst *trace.Cache
+)
+
+func sharedCache() *trace.Cache {
+	sharedCacheOnce.Do(func() {
+		sharedCacheInst = trace.NewCache(trace.DefaultCacheBytes, "")
+	})
+	return sharedCacheInst
+}
+
+// NewContext builds a context over the full Table 1 suite. Unless the
+// config brings its own cache (or disables recording), recordings are
+// shared with every other context in the process via sharedCache.
 func NewContext(cfg sim.Config) *Context {
+	if cfg.Cache == nil && !cfg.NoRecord {
+		cfg.Cache = sharedCache()
+	}
 	return &Context{Cfg: cfg, Specs: workload.Suite()}
 }
 

@@ -1,0 +1,250 @@
+// Package sched is the process-wide work-stealing scheduler behind
+// sim.RunSuite: one pool of workers executing a single queue of tasks,
+// where a running task may fan out follow-up tasks into the same queue.
+//
+// The shape it replaces — a per-suite pool of input goroutines, each
+// spawning a private pool for its predictor-bank sweep — either
+// oversubscribes (Workers × BankWorkers goroutines) or idles: once the
+// small inputs drain, one large input's sweep is stuck on its private
+// pool while every other core sits empty. Here there is exactly one
+// pool. Each worker owns a deque; tasks it spawns push onto the bottom
+// of its own deque and are popped LIFO (the sweep batches of the input
+// it just profiled are the hottest work it has), while idle workers
+// steal from the top of a victim's deque FIFO (the oldest task is most
+// likely an un-started profile task — the biggest unit available, so a
+// thief amortises its steal). Late-arriving fan-out from a big input
+// therefore backfills cores freed by small ones.
+//
+// Tasks here are coarse — a whole workload profile run or a bank-batch
+// sweep over a full recorded trace, milliseconds to seconds each — so
+// the deques are small mutexed slices rather than lock-free Chase-Lev
+// arrays: queue operations are nanoseconds against task runtimes, and
+// the simple structure is easy to reason about under -race.
+package sched
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Task is one schedulable unit of work. It runs on one of the
+// scheduler's workers and may submit follow-up tasks via w.
+type Task func(w *Worker)
+
+// Scheduler owns a fixed set of workers draining one logical queue.
+// Submit tasks (from outside or from running tasks), then Wait.
+type Scheduler struct {
+	deques []deque
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  int    // tasks submitted but not yet finished
+	stamp    uint64 // bumped on every submit; guards the sleep path
+	quit     bool
+	next     int // round-robin cursor for external submits
+	panicked []any
+}
+
+// Worker is the per-goroutine handle a Task receives. Submitting
+// through it pushes onto the worker's own deque, keeping fan-out local
+// until a thief takes it.
+type Worker struct {
+	s   *Scheduler
+	id  int
+	rnd uint64 // xorshift state for victim selection
+}
+
+// New starts a scheduler with n workers (n <= 0 means GOMAXPROCS).
+func New(n int) *Scheduler {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	s := &Scheduler{deques: make([]deque, n)}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go s.run(i)
+	}
+	return s
+}
+
+// Workers returns the worker count.
+func (s *Scheduler) Workers() int { return len(s.deques) }
+
+// Submit enqueues a task from outside the pool, distributing
+// round-robin across worker deques. Tasks must not be submitted after
+// Wait has returned.
+func (s *Scheduler) Submit(t Task) {
+	s.mu.Lock()
+	i := s.next % len(s.deques)
+	s.next++
+	s.enqueueLocked(&s.deques[i], t)
+	s.mu.Unlock()
+}
+
+// Submit enqueues a follow-up task onto this worker's own deque.
+func (w *Worker) Submit(t Task) {
+	s := w.s
+	s.mu.Lock()
+	s.enqueueLocked(&s.deques[w.id], t)
+	s.mu.Unlock()
+}
+
+// enqueueLocked registers the task (pending, stamp) and pushes it.
+// Pending is incremented before the push so Wait can never observe a
+// queued-but-uncounted task; the broadcast wakes sleeping workers.
+func (s *Scheduler) enqueueLocked(d *deque, t Task) {
+	s.pending++
+	s.stamp++
+	d.pushBottom(t)
+	s.cond.Broadcast()
+}
+
+// Wait blocks until every submitted task — including tasks submitted by
+// running tasks — has finished, then stops the workers. Pending cannot
+// reach zero while any task runs (the running task's own slot is still
+// counted, and its fan-out is registered before it finishes), so zero
+// means fully drained. If any task panicked, Wait re-panics with the
+// first recovered value after the workers have stopped. The scheduler
+// is spent after Wait; build a new one for more work.
+func (s *Scheduler) Wait() {
+	s.mu.Lock()
+	for s.pending > 0 {
+		s.cond.Wait()
+	}
+	s.quit = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+	if len(s.panicked) > 0 {
+		panic(s.panicked[0])
+	}
+}
+
+func (s *Scheduler) run(id int) {
+	defer s.wg.Done()
+	w := &Worker{s: s, id: id, rnd: uint64(id)*2654435761 + 0x9e3779b97f4a7c15}
+	for {
+		if t := s.deques[id].popBottom(); t != nil {
+			s.exec(w, t)
+			continue
+		}
+		if t := s.steal(w); t != nil {
+			s.exec(w, t)
+			continue
+		}
+		// Sleep path. Read the stamp, re-scan every deque, and only
+		// sleep if no submit happened since the read: a task enqueued
+		// before the read is found by the re-scan, one enqueued after
+		// it changes the stamp and aborts the sleep. Either way no
+		// wakeup is lost.
+		s.mu.Lock()
+		stamp := s.stamp
+		quit := s.quit
+		s.mu.Unlock()
+		if quit {
+			return
+		}
+		if t := s.scan(w); t != nil {
+			s.exec(w, t)
+			continue
+		}
+		s.mu.Lock()
+		for s.stamp == stamp && !s.quit {
+			s.cond.Wait()
+		}
+		s.mu.Unlock()
+	}
+}
+
+// exec runs one task, always decrementing pending (and waking Wait at
+// zero) even if the task panics. Panics are captured and re-raised by
+// Wait: a panicking workload is handled by the sim layer's own recover,
+// so anything reaching here is a real bug that must not deadlock the
+// suite run.
+func (s *Scheduler) exec(w *Worker, t Task) {
+	defer func() {
+		r := recover()
+		s.mu.Lock()
+		if r != nil {
+			s.panicked = append(s.panicked, r)
+		}
+		s.pending--
+		if s.pending == 0 {
+			s.cond.Broadcast()
+		}
+		s.mu.Unlock()
+	}()
+	t(w)
+}
+
+// steal takes the oldest task from another worker's deque, scanning
+// victims from a per-worker random start so thieves spread out.
+func (s *Scheduler) steal(w *Worker) Task {
+	n := len(s.deques)
+	if n == 1 {
+		return nil
+	}
+	w.rnd ^= w.rnd << 13
+	w.rnd ^= w.rnd >> 7
+	w.rnd ^= w.rnd << 17
+	start := int(w.rnd % uint64(n))
+	for i := 0; i < n; i++ {
+		v := (start + i) % n
+		if v == w.id {
+			continue
+		}
+		if t := s.deques[v].stealTop(); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// scan checks the worker's own deque and then every victim — the full
+// re-check before sleeping.
+func (s *Scheduler) scan(w *Worker) Task {
+	if t := s.deques[w.id].popBottom(); t != nil {
+		return t
+	}
+	return s.steal(w)
+}
+
+// deque is a mutexed double-ended task queue: the owner pushes and pops
+// at the bottom (LIFO), thieves take from the top (FIFO).
+type deque struct {
+	mu    sync.Mutex
+	tasks []Task
+}
+
+func (d *deque) pushBottom(t Task) {
+	d.mu.Lock()
+	d.tasks = append(d.tasks, t)
+	d.mu.Unlock()
+}
+
+func (d *deque) popBottom() Task {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.tasks)
+	if n == 0 {
+		return nil
+	}
+	t := d.tasks[n-1]
+	d.tasks[n-1] = nil
+	d.tasks = d.tasks[:n-1]
+	return t
+}
+
+func (d *deque) stealTop() Task {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return nil
+	}
+	t := d.tasks[0]
+	d.tasks[0] = nil
+	d.tasks = d.tasks[1:]
+	return t
+}

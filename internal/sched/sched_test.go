@@ -1,0 +1,136 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunsEverySubmittedTask(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		s := New(workers)
+		var ran atomic.Int64
+		const n = 100
+		for i := 0; i < n; i++ {
+			s.Submit(func(*Worker) { ran.Add(1) })
+		}
+		s.Wait()
+		if got := ran.Load(); got != n {
+			t.Fatalf("workers=%d: ran %d of %d tasks", workers, got, n)
+		}
+	}
+}
+
+func TestDefaultWorkerCount(t *testing.T) {
+	s := New(0)
+	if s.Workers() < 1 {
+		t.Fatalf("Workers() = %d", s.Workers())
+	}
+	s.Submit(func(*Worker) {})
+	s.Wait()
+}
+
+// TestFanOut pins the scheduler's central contract: tasks submitted by
+// running tasks (recursively) all execute before Wait returns.
+func TestFanOut(t *testing.T) {
+	s := New(4)
+	var ran atomic.Int64
+	var spawn func(w *Worker, depth int)
+	spawn = func(w *Worker, depth int) {
+		ran.Add(1)
+		if depth == 0 {
+			return
+		}
+		for i := 0; i < 3; i++ {
+			d := depth - 1
+			w.Submit(func(w *Worker) { spawn(w, d) })
+		}
+	}
+	s.Submit(func(w *Worker) { spawn(w, 4) })
+	s.Wait()
+	// 1 + 3 + 9 + 27 + 81 tasks.
+	if got := ran.Load(); got != 121 {
+		t.Fatalf("ran %d tasks, want 121", got)
+	}
+}
+
+// TestStealing proves fan-out lands on other workers: four tasks spawned
+// by one worker block on a shared barrier that only releases when all
+// four are running simultaneously, which requires four distinct workers.
+func TestStealing(t *testing.T) {
+	const n = 4
+	s := New(n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	s.Submit(func(w *Worker) {
+		for i := 0; i < n; i++ {
+			w.Submit(func(*Worker) {
+				wg.Done()
+				wg.Wait() // deadlocks (test timeout) unless all n run concurrently
+			})
+		}
+	})
+	s.Wait()
+}
+
+func TestWaitWithNoTasks(t *testing.T) {
+	s := New(3)
+	s.Wait()
+}
+
+func TestPanicPropagates(t *testing.T) {
+	s := New(2)
+	var ran atomic.Int64
+	s.Submit(func(*Worker) { panic("task bug") })
+	s.Submit(func(*Worker) { ran.Add(1) })
+	defer func() {
+		if r := recover(); r != "task bug" {
+			t.Fatalf("Wait recovered %v, want the task's panic", r)
+		}
+		if ran.Load() != 1 {
+			t.Fatal("non-panicking task must still run")
+		}
+	}()
+	s.Wait()
+	t.Fatal("Wait must re-panic")
+}
+
+func TestManyConcurrentSubmitters(t *testing.T) {
+	s := New(3)
+	var ran atomic.Int64
+	var submitters sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		submitters.Add(1)
+		go func() {
+			defer submitters.Done()
+			for i := 0; i < 50; i++ {
+				s.Submit(func(*Worker) { ran.Add(1) })
+			}
+		}()
+	}
+	submitters.Wait()
+	s.Wait()
+	if got := ran.Load(); got != 400 {
+		t.Fatalf("ran %d of 400", got)
+	}
+}
+
+func TestDequeOrder(t *testing.T) {
+	var d deque
+	mk := func(id int, out *[]int) Task {
+		return func(*Worker) { *out = append(*out, id) }
+	}
+	var got []int
+	d.pushBottom(mk(1, &got))
+	d.pushBottom(mk(2, &got))
+	d.pushBottom(mk(3, &got))
+	d.stealTop()(nil)  // oldest: 1
+	d.popBottom()(nil) // newest: 3
+	d.popBottom()(nil) // 2
+	if d.popBottom() != nil || d.stealTop() != nil {
+		t.Fatal("deque must be empty")
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 2 {
+		t.Fatalf("order %v, want [1 3 2]", got)
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"btr/internal/rng"
@@ -91,23 +92,37 @@ func TestReplayChunkSizeIrrelevant(t *testing.T) {
 }
 
 // TestRunSuitePanickingWorkloadDropped pins suite resilience: a workload
-// whose generator panics is dropped and reported, and the rest of the
-// suite completes.
+// whose generator panics is dropped and reported — spec and recovered
+// panic value included — and the rest of the suite completes. Both
+// engines (scheduled and legacy pool) must behave identically.
 func TestRunSuitePanickingWorkloadDropped(t *testing.T) {
-	bad := workload.NewSpec("synthetic", "panics", 100, 1,
-		func(tr *workload.T, r *rng.Rand, target int64) {
-			panic("synthetic workload failure")
-		})
-	good := testSpec(t, "perl", "primes.pl")
-	suite := RunSuite([]workload.Spec{bad, good}, Config{Scale: testScale, Workers: 2})
-	if suite.Dropped != 1 {
-		t.Fatalf("Dropped = %d, want 1", suite.Dropped)
-	}
-	if len(suite.Inputs) != 1 || suite.Inputs[0].Spec.Bench != "perl" {
-		t.Fatalf("surviving inputs wrong: %d", len(suite.Inputs))
-	}
-	if suite.TotalEvents() == 0 {
-		t.Fatal("surviving workload's events lost")
+	for _, noSched := range []bool{false, true} {
+		bad := workload.NewSpec("synthetic", "panics", 100, 1,
+			func(tr *workload.T, r *rng.Rand, target int64) {
+				panic("synthetic workload failure")
+			})
+		good := testSpec(t, "perl", "primes.pl")
+		suite := RunSuite([]workload.Spec{bad, good},
+			Config{Scale: testScale, Workers: 2, NoSched: noSched})
+		if len(suite.Dropped) != 1 {
+			t.Fatalf("noSched=%v: Dropped = %v, want 1 entry", noSched, suite.Dropped)
+		}
+		d := suite.Dropped[0]
+		if d.Spec.Bench != "synthetic" || d.Spec.Input != "panics" {
+			t.Fatalf("noSched=%v: dropped spec %q, want synthetic/panics", noSched, d.Spec.Name())
+		}
+		if d.Err == nil || !strings.Contains(d.Err.Error(), "synthetic workload failure") {
+			t.Fatalf("noSched=%v: dropped err %v must carry the panic value", noSched, d.Err)
+		}
+		if !strings.Contains(d.Error(), "synthetic/panics") {
+			t.Fatalf("noSched=%v: Error() = %q must name the input", noSched, d.Error())
+		}
+		if len(suite.Inputs) != 1 || suite.Inputs[0].Spec.Bench != "perl" {
+			t.Fatalf("noSched=%v: surviving inputs wrong: %d", noSched, len(suite.Inputs))
+		}
+		if suite.TotalEvents() == 0 {
+			t.Fatalf("noSched=%v: surviving workload's events lost", noSched)
+		}
 	}
 }
 
@@ -117,8 +132,13 @@ func TestAggregateSkipsNil(t *testing.T) {
 	spec := testSpec(t, "perl", "primes.pl")
 	res := RunInput(spec, Config{Scale: testScale})
 	suite := Aggregate([]*InputResult{nil, res, nil}, Config{Scale: testScale})
-	if suite.Dropped != 2 {
-		t.Fatalf("Dropped = %d, want 2", suite.Dropped)
+	if len(suite.Dropped) != 2 {
+		t.Fatalf("Dropped = %v, want 2 entries", suite.Dropped)
+	}
+	for _, d := range suite.Dropped {
+		if d.Err == nil || d.Error() == "" {
+			t.Fatalf("dropped entry %v must carry a cause", d)
+		}
 	}
 	if len(suite.Inputs) != 1 {
 		t.Fatalf("Inputs kept %d entries, want 1", len(suite.Inputs))
@@ -129,7 +149,7 @@ func TestAggregateSkipsNil(t *testing.T) {
 	if suite.TotalEvents() != res.Events {
 		t.Fatal("TotalEvents must ignore dropped inputs")
 	}
-	if got := Aggregate(nil, Config{}); got.Dropped != 0 || len(got.Inputs) != 0 {
+	if got := Aggregate(nil, Config{}); len(got.Dropped) != 0 || len(got.Inputs) != 0 {
 		t.Fatal("aggregating nothing must yield an empty suite")
 	}
 }

@@ -79,6 +79,31 @@ type Config struct {
 	// pipeline did. It exists as the equivalence baseline and for
 	// memory-constrained runs; results are bit-for-bit identical.
 	NoRecord bool
+	// NoSched disables RunSuite's global work-stealing scheduler and
+	// falls back to the nested pools (a bounded pool of whole inputs,
+	// each sharding its bank across a private pool). It exists as the
+	// equivalence baseline; results are bit-for-bit identical. NoRecord
+	// implies NoSched, since the scheduler's sweep tasks replay the
+	// recorded trace.
+	NoSched bool
+	// Cache, when non-nil, is consulted before pass 1: a recording with
+	// a matching (name, scale, chunk) key replays into the profiler
+	// instead of running the generator, and fresh recordings are
+	// published for later runs and other experiment contexts. Ignored
+	// under NoRecord.
+	Cache *trace.Cache
+}
+
+// cacheKey is the recording's identity for Config.Cache lookups. The
+// spec fingerprint keeps same-named custom specs (different target,
+// seed or generator parameters) from aliasing each other's recordings.
+func (c Config) cacheKey(spec workload.Spec) trace.CacheKey {
+	return trace.CacheKey{
+		Name:        spec.Name(),
+		Fingerprint: spec.Fingerprint(),
+		Scale:       c.Scale,
+		ChunkEvents: c.ChunkEvents,
+	}
 }
 
 func (c Config) window() int {
@@ -200,12 +225,61 @@ func RunInput(spec workload.Spec, cfg Config) *InputResult {
 	if cfg.NoRecord {
 		return runInputRegenerate(spec, cfg)
 	}
+	res, classIdx := profileStage(spec, cfg)
 
-	// Pass 1: profile and record in one generator run.
+	// Pass 2: shard the (kind, k) bank slots round-robin across workers.
+	// Each worker replays the trace chunk-major — one decode per chunk,
+	// shared by all of its slots — so decode cost scales with workers, not
+	// with the 34 bank slots, and a single-core run decodes the trace
+	// exactly once. Each slot's miss counts are a pure function of the
+	// recorded stream and land in a distinct cell of res.Miss, so no
+	// synchronisation beyond the WaitGroup is needed and the sharding
+	// cannot change results.
+	misses := make([]missCell, numBankSlots)
+	groups := bankGroups(cfg.bankWorkers(), misses)
+	var wg sync.WaitGroup
+	for _, group := range groups {
+		wg.Add(1)
+		go func(group []bankSlot) {
+			defer wg.Done()
+			sweepSlots(group, res.Recorded, classIdx)
+		}(group)
+	}
+	wg.Wait()
+	foldMisses(res, misses)
+	return res
+}
+
+// profileRecorded runs pass 1 — profile and record in one generator run
+// — consulting cfg.Cache first: on a hit the cached recording replays
+// into the profiler and the generator never runs. Either way the
+// returned trace is the input's exact event stream.
+func profileRecorded(spec workload.Spec, cfg Config) (*core.Profiler, *trace.ChunkedTrace) {
 	profiler := core.NewProfiler()
+	if cfg.Cache != nil {
+		if rec, ok := cfg.Cache.Get(cfg.cacheKey(spec)); ok {
+			rec.Replay(profiler)
+			return profiler, rec
+		}
+	}
 	recorder := trace.NewChunkRecorder(cfg.ChunkEvents)
 	spec.Run(trace.Tee(profiler, recorder), cfg.Scale)
-	recorded := recorder.Trace()
+	rec := recorder.Trace()
+	if cfg.Cache != nil {
+		// A failed spill loses persistence only — the recording is
+		// still cached in memory — and is counted in the cache stats
+		// (CacheStats.SpillFailures) for the CLIs to report.
+		_ = cfg.Cache.Put(cfg.cacheKey(spec), rec)
+	}
+	return profiler, rec
+}
+
+// profileStage is the schedulable first half of RunInput: pass 1 plus
+// the attribution pre-pass. It returns the result shell (Exec, classes,
+// distances and the recorded trace filled in; Miss still zero) and the
+// per-event class column the bank sweep attributes against.
+func profileStage(spec workload.Spec, cfg Config) (*InputResult, []uint8) {
+	profiler, recorded := profileRecorded(spec, cfg)
 	classes := core.Classify(profiler.Profiles())
 
 	res := &InputResult{
@@ -256,19 +330,27 @@ func RunInput(spec workload.Spec, cfg Config) *InputResult {
 		}
 	}
 
-	// Pass 2: shard the (kind, k) bank slots round-robin across workers.
-	// Each worker replays the trace chunk-major — one decode per chunk,
-	// shared by all of its slots — so decode cost scales with workers, not
-	// with the 34 bank slots, and a single-core run decodes the trace
-	// exactly once. Each slot's miss counts are a pure function of the
-	// recorded stream and land in a distinct cell of res.Miss, so no
-	// synchronisation beyond the WaitGroup is needed and the sharding
-	// cannot change results.
-	workers := cfg.bankWorkers()
-	numSlots := int(NumKinds) * NumHistories
-	misses := make([][core.NumClasses * core.NumClasses]int64, numSlots)
-	groups := make([][]bankSlot, workers)
-	for i := 0; i < numSlots; i++ {
+	return res, classIdx
+}
+
+// missCell is one bank slot's flat class-attributed miss counters.
+type missCell = [core.NumClasses * core.NumClasses]int64
+
+// numBankSlots counts the (kind, k) configurations of the paper's sweep.
+const numBankSlots = int(NumKinds) * NumHistories
+
+// bankGroups builds the predictor bank — PAs(k) and GAs(k) for every
+// history length — and splits its slots round-robin into at most
+// `groups` batches. Each batch shares one chunk decode per replayed
+// chunk (see sweepSlots), so decode cost scales with the batch count,
+// not the 34 slots, and a single batch decodes the trace exactly once.
+// misses must hold numBankSlots cells; slot i writes only cell i.
+func bankGroups(groups int, misses []missCell) [][]bankSlot {
+	if groups > numBankSlots {
+		groups = numBankSlots
+	}
+	out := make([][]bankSlot, groups)
+	for i := 0; i < numBankSlots; i++ {
 		kind, k := Kind(i/NumHistories), i%NumHistories
 		var p chunkSweeper
 		switch kind {
@@ -277,18 +359,14 @@ func RunInput(spec workload.Spec, cfg Config) *InputResult {
 		case KindGAs:
 			p = bpred.NewGAs(k)
 		}
-		groups[i%workers] = append(groups[i%workers], bankSlot{p: p, miss: &misses[i]})
+		out[i%groups] = append(out[i%groups], bankSlot{p: p, miss: &misses[i]})
 	}
-	var wg sync.WaitGroup
-	for _, group := range groups {
-		wg.Add(1)
-		go func(group []bankSlot) {
-			defer wg.Done()
-			sweepSlots(group, recorded, classIdx)
-		}(group)
-	}
-	wg.Wait()
-	for i := 0; i < numSlots; i++ {
+	return out
+}
+
+// foldMisses copies the flat per-slot counters into res.Miss.
+func foldMisses(res *InputResult, misses []missCell) {
+	for i := 0; i < numBankSlots; i++ {
 		kind, k := Kind(i/NumHistories), i%NumHistories
 		for t := 0; t < core.NumClasses; t++ {
 			for tr := 0; tr < core.NumClasses; tr++ {
@@ -296,7 +374,6 @@ func RunInput(spec workload.Spec, cfg Config) *InputResult {
 			}
 		}
 	}
-	return res
 }
 
 // classLookup resolves branch PCs to flattened joint-class indices,
@@ -380,9 +457,26 @@ func sweepSlots(slots []bankSlot, recorded *trace.ChunkedTrace, classIdx []uint8
 				wrong[w] = 0
 			}
 			s.p.SweepChunk(pcs, dirs, n, wrong)
-			miss := s.miss
+			// Popcount pre-scan: total mispredictions in the chunk. An
+			// all-correct chunk — the common case for easy classes at
+			// high k — skips attribution entirely, and otherwise the
+			// running count stops the word walk as soon as the last
+			// miss has been attributed, bulk-skipping the zero tail.
+			total := 0
 			for w := 0; w < words; w++ {
-				for bits := wrong[w]; bits != 0; bits &= bits - 1 {
+				total += mathbits.OnesCount64(wrong[w])
+			}
+			if total == 0 {
+				continue
+			}
+			miss := s.miss
+			for w := 0; total > 0; w++ {
+				bits := wrong[w]
+				if bits == 0 {
+					continue
+				}
+				total -= mathbits.OnesCount64(bits)
+				for ; bits != 0; bits &= bits - 1 {
 					miss[cls[w*64+mathbits.TrailingZeros64(bits)]]++
 				}
 			}

@@ -1,14 +1,44 @@
 package sim
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"btr/internal/core"
+	"btr/internal/sched"
 	"btr/internal/stats"
 	"btr/internal/workload"
 )
+
+// InputError records one input that produced no result, with the
+// recovered cause (e.g. a panicking workload generator).
+type InputError struct {
+	// Spec names the failed input; zero when the caller aggregated a nil
+	// result without spec context.
+	Spec workload.Spec
+	// Err is the recovered cause.
+	Err error
+}
+
+// Error renders "bench/input: cause".
+func (e InputError) Error() string {
+	name := e.Spec.Name()
+	if e.Spec.Bench == "" && e.Spec.Input == "" {
+		name = "input"
+	}
+	return fmt.Sprintf("%s: %v", name, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e InputError) Unwrap() error { return e.Err }
+
+// errNoResult is the cause recorded when a nil result carries no
+// explanation of its own.
+var errNoResult = errors.New("produced no result")
 
 // SuiteResult aggregates InputResults across benchmark inputs, dynamic-
 // occurrence weighted, which is how every paper figure reports data.
@@ -28,25 +58,116 @@ type SuiteResult struct {
 	// HardByBench histograms Figure 15 distances per benchmark.
 	HardByBench map[string]*stats.Histogram
 
-	// Dropped counts nil per-input results skipped during aggregation
-	// (a workload that failed to produce a result, e.g. panicked).
-	Dropped int
+	// Dropped records the inputs skipped during aggregation — workloads
+	// that failed to produce a result — each with its spec and the
+	// recovered cause, so a failed run is diagnosable.
+	Dropped []InputError
 }
 
-// RunSuite runs every spec through the two-pass pipeline, in parallel up
-// to cfg.Workers, and aggregates. The pool is bounded: exactly
-// min(Workers, len(specs)) goroutines pull input indices from a shared
-// queue, so worker count — not just concurrency — stays fixed no matter
-// how large the suite is.
+// RunSuite runs every spec through the two-pass pipeline and aggregates.
+//
+// The default engine is one global work-stealing scheduler over
+// (input, bank-batch) tasks: each input starts as a profile+record
+// task, and each completed recording fans out its 34-slot PAs/GAs sweep
+// as worker-sized batches into the same queue, so late-arriving fan-out
+// from a heavy input backfills cores freed by small ones instead of
+// queueing behind a private per-input pool. Every sweep batch is a pure
+// function of its input's recorded stream, so scheduling order cannot
+// change results (bit-for-bit identical to the nested-pool and
+// NoRecord engines; see TestScheduledMatchesLegacy).
+//
+// cfg.NoSched (or cfg.NoRecord, whose regenerating pipeline has no
+// schedulable sweep stage) selects the legacy shape instead: a bounded
+// pool of whole-input workers, each sharding its own bank.
 func RunSuite(specs []workload.Spec, cfg Config) *SuiteResult {
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if cfg.NoSched || cfg.NoRecord {
+		return runSuitePool(specs, cfg)
 	}
+	return runSuiteScheduled(specs, cfg)
+}
+
+func (c Config) suiteWorkers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runSuiteScheduled is the global-scheduler engine.
+func runSuiteScheduled(specs []workload.Spec, cfg Config) *SuiteResult {
+	// Workers are NOT clamped to len(specs): the sweep fan-out gives
+	// every core work even for a single-input suite.
+	workers := cfg.suiteWorkers()
+	s := sched.New(workers)
+	results := make([]*InputResult, len(specs))
+	errs := make([]error, len(specs))
+	// Sweep batches per input: the bank pool sizing, clamped to the
+	// scheduler's worker count — more batches than workers would only
+	// buy redundant serial trace decodes (each batch decodes the trace
+	// once). One worker therefore means one batch and a single decode.
+	// Batch count is result-invisible (TestScheduledBatchCountIrrelevant).
+	batches := cfg.bankWorkers()
+	if batches > workers {
+		batches = workers
+	}
+	for i := range specs {
+		i := i
+		s.Submit(func(w *sched.Worker) {
+			profileTask(w, specs[i], cfg, batches, &results[i], &errs[i])
+		})
+	}
+	s.Wait()
+	return aggregate(results, specs, errs, cfg)
+}
+
+// profileTask runs one input's pass 1 and fans out its bank sweep. A
+// panicking workload is converted to a per-input error (the result
+// stays nil and is reported via SuiteResult.Dropped); the suite run
+// continues. The last sweep batch to finish folds the counters and
+// publishes the result — Scheduler.Wait's barrier makes the write
+// visible to the aggregation.
+func profileTask(w *sched.Worker, spec workload.Spec, cfg Config, batches int, out **InputResult, errOut *error) {
+	var res *InputResult
+	var classIdx []uint8
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				*errOut = fmt.Errorf("workload panicked: %v", r)
+			}
+		}()
+		res, classIdx = profileStage(spec, cfg)
+	}()
+	if res == nil {
+		return
+	}
+	misses := make([]missCell, numBankSlots)
+	groups := bankGroups(batches, misses)
+	var remaining atomic.Int32
+	remaining.Store(int32(len(groups)))
+	for _, group := range groups {
+		group := group
+		w.Submit(func(*sched.Worker) {
+			sweepSlots(group, res.Recorded, classIdx)
+			if remaining.Add(-1) == 0 {
+				foldMisses(res, misses)
+				*out = res
+			}
+		})
+	}
+}
+
+// runSuitePool is the legacy nested-pool engine: exactly
+// min(Workers, len(specs)) goroutines pull input indices from a shared
+// queue and run whole inputs (each sharding its own bank via RunInput),
+// so worker count — not just concurrency — stays fixed no matter how
+// large the suite is.
+func runSuitePool(specs []workload.Spec, cfg Config) *SuiteResult {
+	workers := cfg.suiteWorkers()
 	if workers > len(specs) {
 		workers = len(specs)
 	}
 	results := make([]*InputResult, len(specs))
+	errs := make([]error, len(specs))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -54,7 +175,7 @@ func RunSuite(specs []workload.Spec, cfg Config) *SuiteResult {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				runOne(specs[i], cfg, &results[i])
+				runOne(specs[i], cfg, &results[i], &errs[i])
 			}
 		}()
 	}
@@ -63,16 +184,17 @@ func RunSuite(specs []workload.Spec, cfg Config) *SuiteResult {
 	}
 	close(jobs)
 	wg.Wait()
-	return Aggregate(results, cfg)
+	return aggregate(results, specs, errs, cfg)
 }
 
 // runOne runs a single input, converting a panicking workload into a nil
-// result (reported by Aggregate as Dropped) so one bad generator cannot
-// take down a whole suite run.
-func runOne(spec workload.Spec, cfg Config, out **InputResult) {
+// result with a recorded cause (reported via SuiteResult.Dropped) so one
+// bad generator cannot take down a whole suite run.
+func runOne(spec workload.Spec, cfg Config, out **InputResult, errOut *error) {
 	defer func() {
-		if recover() != nil {
+		if r := recover(); r != nil {
 			*out = nil
+			*errOut = fmt.Errorf("workload panicked: %v", r)
 		}
 	}()
 	*out = RunInput(spec, cfg)
@@ -82,13 +204,27 @@ func runOne(spec workload.Spec, cfg Config, out **InputResult) {
 // inputs that never produced a result — are skipped and reported via
 // Dropped rather than panicking the whole suite.
 func Aggregate(results []*InputResult, cfg Config) *SuiteResult {
+	return aggregate(results, nil, nil, cfg)
+}
+
+// aggregate is Aggregate plus the per-input context RunSuite has:
+// specs[i] and errs[i] explain a nil results[i]. Either slice may be
+// nil.
+func aggregate(results []*InputResult, specs []workload.Spec, errs []error, cfg Config) *SuiteResult {
 	suite := &SuiteResult{
 		Inputs:      make([]*InputResult, 0, len(results)),
 		HardByBench: make(map[string]*stats.Histogram),
 	}
-	for _, r := range results {
+	for i, r := range results {
 		if r == nil {
-			suite.Dropped++
+			ie := InputError{Err: errNoResult}
+			if specs != nil {
+				ie.Spec = specs[i]
+			}
+			if errs != nil && errs[i] != nil {
+				ie.Err = errs[i]
+			}
+			suite.Dropped = append(suite.Dropped, ie)
 			continue
 		}
 		suite.Inputs = append(suite.Inputs, r)

@@ -1,0 +1,355 @@
+package trace
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Cache is a process-wide store of recorded traces keyed by the three
+// values that determine a recording bit-for-bit: workload name, scale,
+// and chunk granularity. Experiment contexts that agree on all three
+// share one recording instead of re-running the generator per context.
+//
+// The cache is size-bounded: once resident columns exceed the byte
+// budget, least-recently-used entries are evicted. With a spill
+// directory configured, evicted (and freshly stored) traces are written
+// as BTR1 files and transparently re-loaded on the next Get — so a
+// memory-constrained run degrades to disk instead of regenerating, and
+// a later process pointed at the same directory starts warm.
+
+// DefaultCacheBytes is the resident-column budget used by callers that
+// have no better number: 1 GiB, comfortably above a full Table 1 suite
+// at scale 1.0 (~1.2 bytes/event).
+const DefaultCacheBytes = 1 << 30
+
+// CacheKey identifies one recorded stream. ChunkEvents <= 0 is
+// normalised to DefaultChunkEvents and Scale <= 0 to 1 (matching the
+// workload runner's treatment) so configs that spell the defaults
+// differently still share.
+type CacheKey struct {
+	// Name is the workload's "bench/input" name.
+	Name string
+	// Fingerprint disambiguates workloads that share a Name — e.g.
+	// custom specs with the same bench/input but different target, seed
+	// or generator (workload.Spec.Fingerprint). Zero is fine when names
+	// are known unique.
+	Fingerprint uint64
+	// Scale is the workload scale the stream was generated at.
+	Scale float64
+	// ChunkEvents is the recording's chunk granularity.
+	ChunkEvents int
+}
+
+func (k CacheKey) normalised() CacheKey {
+	if k.ChunkEvents <= 0 {
+		k.ChunkEvents = DefaultChunkEvents
+	}
+	if k.Scale <= 0 {
+		k.Scale = 1
+	}
+	return k
+}
+
+// CacheStats counts cache traffic; all cumulative except the Resident
+// pair, which snapshot current occupancy.
+type CacheStats struct {
+	Hits          int64 // Gets served, from memory or disk
+	Misses        int64 // Gets that found nothing
+	Loads         int64 // hits that re-read a BTR1 spill file
+	Spills        int64 // traces written to the spill directory
+	SpillFailures int64 // spill writes that failed (persistence lost, memory reuse kept)
+	Evicted       int64 // entries whose columns were released from memory
+	Resident      int   // entries currently holding columns in memory
+	ResidentBytes int64 // bytes of resident columns
+}
+
+// Cache is safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	dir      string
+	entries  map[CacheKey]*cacheEntry
+	bytes    int64
+	tick     int64
+	stats    CacheStats
+}
+
+// cacheEntry is one keyed recording: resident (tr != nil), spilled
+// (tr == nil, path != ""), or both (written through, still resident).
+type cacheEntry struct {
+	tr   *ChunkedTrace
+	path string
+	used int64
+}
+
+// NewCache builds a cache bounded to maxBytes of resident trace columns
+// (<= 0 means unbounded). A non-empty spillDir enables the BTR1 spill
+// mode: stored traces are written through to the directory (created if
+// missing), evictions keep their file, and Get probes the directory
+// for recordings left by earlier processes. Spill files are trusted to
+// match their key — point different workload versions at different
+// directories.
+func NewCache(maxBytes int64, spillDir string) *Cache {
+	return &Cache{
+		maxBytes: maxBytes,
+		dir:      spillDir,
+		entries:  make(map[CacheKey]*cacheEntry),
+	}
+}
+
+// Get returns the recording for key, re-reading a spill file if the
+// columns are no longer resident. All disk I/O happens outside the
+// cache lock, so a reload (or a spill-dir probe) never stalls other
+// callers' in-memory traffic.
+func (c *Cache) Get(key CacheKey) (*ChunkedTrace, bool) {
+	key = key.normalised()
+	c.mu.Lock()
+	e := c.entries[key]
+	if e != nil {
+		c.tick++
+		e.used = c.tick
+		if tr := e.tr; tr != nil {
+			c.stats.Hits++
+			c.mu.Unlock()
+			return tr, true
+		}
+		path := e.path
+		c.mu.Unlock()
+		return c.loadSpill(key, e, path)
+	}
+	dir := c.dir
+	c.mu.Unlock()
+	if dir == "" {
+		c.countMiss()
+		return nil, false
+	}
+	// Probe the spill dir: a previous process may have left the file;
+	// an open failure is simply a miss.
+	return c.loadSpill(key, nil, c.spillPath(key))
+}
+
+func (c *Cache) countMiss() {
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+}
+
+// loadSpill reads a spill file outside the lock and adopts the result
+// under it. e is the entry the caller saw (nil when probing the dir for
+// a key the cache has never seen). Concurrent loads of the same key may
+// each read the file; adoption is idempotent and the extra reads only
+// cost duplicate I/O on an already-rare path.
+func (c *Cache) loadSpill(key CacheKey, e *cacheEntry, path string) (*ChunkedTrace, bool) {
+	tr, err := readSpill(path, key.ChunkEvents)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		// The file is missing, vanished or corrupt: forget it and
+		// report a miss so the caller regenerates.
+		if e != nil && c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Loads++
+	c.stats.Hits++
+	// May release the entry right back if it alone exceeds the budget;
+	// the caller's reference keeps the returned trace valid.
+	return c.adoptLocked(key, tr, path), true
+}
+
+// adoptLocked installs (or refreshes) the entry for key with resident
+// columns tr and spill path. If another goroutine adopted resident
+// columns first, theirs are returned so concurrent callers share one
+// copy.
+func (c *Cache) adoptLocked(key CacheKey, tr *ChunkedTrace, path string) *ChunkedTrace {
+	c.tick++
+	e := c.entries[key]
+	if e == nil {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	e.used = c.tick
+	if e.path == "" {
+		e.path = path
+	}
+	if e.tr == nil {
+		e.tr = tr
+		c.bytes += tr.SizeBytes()
+		c.evictLocked()
+	}
+	if e.tr != nil {
+		return e.tr
+	}
+	return tr
+}
+
+// Put stores a recording under key. With a spill directory the trace is
+// written through immediately (outside the cache lock, so concurrent
+// workers' cache traffic never waits on disk), making it durable across
+// evictions and processes; a failed spill is reported but the trace is
+// still cached in memory — an unwritable directory only loses
+// persistence, never reuse. Storing an already-present key refreshes
+// recency; if that entry's columns were evicted, the offered trace is
+// re-adopted so the next Get is served from memory (recordings are
+// deterministic, so the two are identical).
+func (c *Cache) Put(key CacheKey, tr *ChunkedTrace) error {
+	key = key.normalised()
+	c.mu.Lock()
+	if e := c.entries[key]; e != nil {
+		c.adoptLocked(key, tr, e.path)
+		c.mu.Unlock()
+		return nil
+	}
+	dir := c.dir
+	c.mu.Unlock()
+
+	// Spill without the lock; the deterministic temp-and-rename write
+	// means concurrent Puts of the same recording cannot tear the file.
+	var path string
+	var spillErr error
+	if dir != "" {
+		path = c.spillPath(key)
+		if err := writeSpill(path, tr); err != nil {
+			path = ""
+			spillErr = fmt.Errorf("trace: spilling %s: %w", key.Name, err)
+		}
+	}
+
+	c.mu.Lock()
+	if path != "" {
+		c.stats.Spills++
+	} else if spillErr != nil {
+		c.stats.SpillFailures++
+	}
+	c.adoptLocked(key, tr, path)
+	c.mu.Unlock()
+	return spillErr
+}
+
+// Flush releases every resident trace column (spill files are kept), so
+// a long-lived process can return the cache's memory without losing the
+// disk-backed recordings. Counters are preserved.
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, e := range c.entries {
+		if e.tr != nil {
+			c.bytes -= e.tr.SizeBytes()
+			e.tr = nil
+			c.stats.Evicted++
+		}
+		if e.path == "" {
+			delete(c.entries, key)
+		}
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.ResidentBytes = c.bytes
+	for _, e := range c.entries {
+		if e.tr != nil {
+			s.Resident++
+		}
+	}
+	return s
+}
+
+// evictLocked releases least-recently-used resident columns until the
+// budget is met. Traces are immutable and callers keep their own
+// references, so even a just-stored or just-returned entry may be
+// released: the caller's pointer stays valid, only the cache forgets.
+// Spilled entries keep their file and reload on demand; without a spill
+// path the columns are simply dropped and the next Get misses.
+func (c *Cache) evictLocked() {
+	if c.maxBytes <= 0 {
+		return
+	}
+	for c.bytes > c.maxBytes {
+		var victim *cacheEntry
+		var victimKey CacheKey
+		for k, e := range c.entries {
+			if e.tr == nil {
+				continue
+			}
+			if victim == nil || e.used < victim.used {
+				victim, victimKey = e, k
+			}
+		}
+		if victim == nil {
+			return
+		}
+		c.bytes -= victim.tr.SizeBytes()
+		victim.tr = nil
+		c.stats.Evicted++
+		if victim.path == "" {
+			delete(c.entries, victimKey)
+		}
+	}
+}
+
+// spillPath derives a deterministic file name from the key so separate
+// processes agree on where a recording lives.
+func (c *Cache) spillPath(key CacheKey) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%x|%g|%d", key.Name, key.Fingerprint, key.Scale, key.ChunkEvents)
+	return filepath.Join(c.dir, fmt.Sprintf("%016x.btr", h.Sum64()))
+}
+
+// writeSpill encodes the trace as a BTR1 file, via a temp file and
+// rename so concurrent writers of the same deterministic recording
+// cannot leave a torn file.
+func writeSpill(path string, tr *ChunkedTrace) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	w, err := NewWriter(f)
+	if err == nil {
+		tr.Replay(w)
+		err = w.Close()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return nil
+}
+
+// readSpill decodes a BTR1 spill file back into a chunked trace at the
+// key's granularity; the (pc, taken) stream round-trips exactly, so the
+// reloaded trace replays bit-identically to the original recording.
+func readSpill(path string, chunkEvents int) (*ChunkedTrace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	rec := NewChunkRecorder(chunkEvents)
+	if _, err := Copy(rec, r); err != nil {
+		return nil, err
+	}
+	return rec.Trace(), nil
+}

@@ -1,6 +1,9 @@
 package trace
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // In-memory recorded traces for the record-once/replay-many pipeline.
 //
@@ -55,6 +58,83 @@ func (t *ChunkedTrace) SizeBytes() int64 {
 	}
 	return n
 }
+
+// ChunkStats summarises a ChunkedTrace's in-memory encoding, for trace
+// audits (brtrace) and cache accounting.
+type ChunkStats struct {
+	Chunks     int   // sealed chunks
+	Events     int64 // recorded events
+	DeltaBytes int64 // zigzag-varint PC delta column bytes
+	DirBytes   int64 // direction bitmap bytes
+}
+
+// EncodedBytes is the total column footprint.
+func (s ChunkStats) EncodedBytes() int64 { return s.DeltaBytes + s.DirBytes }
+
+// BytesPerEvent is the mean encoded cost of one event (0 when empty).
+func (s ChunkStats) BytesPerEvent() float64 {
+	if s.Events == 0 {
+		return 0
+	}
+	return float64(s.EncodedBytes()) / float64(s.Events)
+}
+
+// String renders a one-line summary.
+func (s ChunkStats) String() string {
+	return fmt.Sprintf("chunks=%d events=%d encoded_bytes=%d (deltas=%d dirs=%d) bytes/event=%.2f",
+		s.Chunks, s.Events, s.EncodedBytes(), s.DeltaBytes, s.DirBytes, s.BytesPerEvent())
+}
+
+// MemStats reports the trace's in-memory encoding statistics.
+func (t *ChunkedTrace) MemStats() ChunkStats {
+	s := ChunkStats{Chunks: len(t.chunks), Events: t.events}
+	for i := range t.chunks {
+		s.DeltaBytes += int64(len(t.chunks[i].deltas))
+		s.DirBytes += int64(len(t.chunks[i].dirs)) * 8
+	}
+	return s
+}
+
+// ChunkStatsSink measures what a ChunkRecorder would hold resident for
+// a stream — same chunking, same delta encoding — without retaining any
+// columns, so arbitrarily large traces can be audited in O(1) memory.
+// It implements Sink; read the result with Stats.
+type ChunkStatsSink struct {
+	chunkEvents int
+	lastPC      uint64
+	cur         int // events in the current (unfinished) chunk
+	s           ChunkStats
+}
+
+// NewChunkStatsSink returns a sink modelling a recorder with the given
+// chunk granularity (<= 0 means DefaultChunkEvents).
+func NewChunkStatsSink(chunkEvents int) *ChunkStatsSink {
+	if chunkEvents <= 0 {
+		chunkEvents = DefaultChunkEvents
+	}
+	return &ChunkStatsSink{chunkEvents: chunkEvents}
+}
+
+// Branch accounts for one event.
+func (s *ChunkStatsSink) Branch(pc uint64, taken bool) {
+	if s.cur == 0 {
+		// A recorder allocates the full direction bitmap when a chunk
+		// opens, so a partial final chunk costs the same words.
+		s.s.Chunks++
+		s.s.DirBytes += int64((s.chunkEvents+63)/64) * 8
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	s.s.DeltaBytes += int64(binary.PutUvarint(scratch[:], zigzag(int64(pc-s.lastPC))))
+	s.lastPC = pc
+	s.s.Events++
+	s.cur++
+	if s.cur == s.chunkEvents {
+		s.cur = 0
+	}
+}
+
+// Stats returns the accumulated statistics.
+func (s *ChunkStatsSink) Stats() ChunkStats { return s.s }
 
 // ChunkRecorder is a Sink that records a stream into a ChunkedTrace.
 // It is single-writer; call Trace exactly once after the stream ends.

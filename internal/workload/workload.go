@@ -82,10 +82,39 @@ func (s Spec) PCBase() uint64 {
 	return 0x400000 + (h%256)<<22
 }
 
+// Fingerprint hashes the spec parameters that select its event stream —
+// bench, input, target and seed — so recordings of two different specs
+// that happen to share a name never alias in a trace cache. The run
+// function itself is deliberately not hashed (its code address would
+// vary across rebuilds and PIE loads, breaking cross-process spill
+// reuse), so specs with identical parameters but different generator
+// code still collide — in memory as well as on disk. Callers defining
+// several custom generators must give them distinct bench/input/seed
+// parameters (see also the spill-dir caveat on trace.NewCache).
+func (s Spec) Fingerprint() uint64 {
+	h := uint64(1469598103934665603) // FNV-64 offset basis
+	mix := func(b byte) { h ^= uint64(b); h *= 1099511628211 }
+	for i := 0; i < len(s.Bench); i++ {
+		mix(s.Bench[i])
+	}
+	mix(0)
+	for i := 0; i < len(s.Input); i++ {
+		mix(s.Input[i])
+	}
+	mix(0)
+	for i := 0; i < 8; i++ {
+		mix(byte(uint64(s.Target) >> (8 * i)))
+	}
+	for i := 0; i < 8; i++ {
+		mix(byte(s.Seed >> (8 * i)))
+	}
+	return h
+}
+
 // Run executes the workload at the given scale, emitting branch events to
-// sink. Scale multiplies the spec's target count; scale 1.0 reproduces the
-// registry's default sizing. Runs with equal (spec, scale) emit identical
-// streams.
+// sink. Scale multiplies the spec's target count; scale <= 0 is treated
+// as 1.0, the registry's default sizing. Runs with equal (spec, scale)
+// emit identical streams.
 func (s Spec) Run(sink trace.Sink, scale float64) int64 {
 	if scale <= 0 {
 		scale = 1
