@@ -90,18 +90,66 @@ func BenchmarkSuiteSweepRegenerate(b *testing.B) {
 
 // BenchmarkSuiteSweepScheduled measures the same pipeline driven by the
 // global work-stealing scheduler (the RunSuite default): the profile
-// task fans its 34-slot bank sweep out as worker-sized batches into one
-// queue, so even this single-input suite fills every core. It must beat
+// task fans its 34-slot bank sweep out as per-slot chains of chunk-range
+// tasks over shared pre-decoded columns, so even this single-input suite
+// fills every core and never decodes the trace twice. It must beat
 // BenchmarkSuiteSweepRegenerate wall-clock at GOMAXPROCS > 1 and stay
-// within noise at GOMAXPROCS = 1 (one batch, one trace decode).
+// ahead of the legacy pool at GOMAXPROCS = 1 (the sweep reuses the
+// attribution pass's decode instead of paying its own).
 func BenchmarkSuiteSweepScheduled(b *testing.B) {
 	benchSweepSuite(b, SimConfig{Scale: 1.0})
+}
+
+// BenchmarkSuiteSweepSlotOnly is the PR-2 scheduler shape — whole-trace
+// slot-batch tasks, one decode per batch — kept for isolating the
+// chunk-axis contribution on the same suite sweep.
+func BenchmarkSuiteSweepSlotOnly(b *testing.B) {
+	benchSweepSuite(b, SimConfig{Scale: 1.0, ChunkTasks: -1})
 }
 
 // BenchmarkSuiteSweepLegacyPool is the PR-1 nested-pool suite engine
 // over the same input, for isolating the scheduler's contribution.
 func BenchmarkSuiteSweepLegacyPool(b *testing.B) {
 	benchSweepSuite(b, SimConfig{Scale: 1.0, NoSched: true})
+}
+
+// singleInputScale sizes the saturation benchmarks' one input at ~650k
+// events (≈40 recorded chunks): big enough that its sweep is a real
+// (34 slot × 40 chunk) grid with a visible tail, small enough for CI.
+const singleInputScale = 50.0
+
+// BenchmarkSingleInputSaturation is the chunk-axis headline: ONE large
+// input (gcc/genoutput.i at 50× registry scale) on GOMAXPROCS workers
+// under the (slot × chunk-range) grid. Every core gets chunk-range
+// tasks stolen off the 34 slot chains, and no task re-decodes the trace.
+// Compare against BenchmarkSingleInputSlotOnly, the PR-2 decomposition
+// of exactly the same run: on a multi-core runner the grid's finer tail
+// and shared decode are the difference; at GOMAXPROCS = 1 the shared
+// decode alone keeps it ahead.
+func BenchmarkSingleInputSaturation(b *testing.B) {
+	benchSingleInput(b, SimConfig{Scale: singleInputScale})
+}
+
+// BenchmarkSingleInputSlotOnly is the slot-only baseline for
+// BenchmarkSingleInputSaturation: same input, same workers, whole-trace
+// slot-batch tasks clamped to the worker count.
+func BenchmarkSingleInputSlotOnly(b *testing.B) {
+	benchSingleInput(b, SimConfig{Scale: singleInputScale, ChunkTasks: -1})
+}
+
+func benchSingleInput(b *testing.B, cfg SimConfig) {
+	spec, err := FindWorkload("gcc", "genoutput.i")
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := []WorkloadSpec{spec}
+	b.ResetTimer()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		suite := RunSuite(specs, cfg)
+		events += suite.TotalEvents()
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
 }
 
 func benchSweep(b *testing.B, cfg SimConfig) {

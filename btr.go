@@ -103,6 +103,11 @@ type (
 	TraceCache = trace.Cache
 	// TraceCacheKey identifies one recording in a TraceCache.
 	TraceCacheKey = trace.CacheKey
+	// ProfileCache caches classified pass-1 results (sans Miss) under
+	// the same keys as a TraceCache, so matching runs skip the profiling
+	// replay as well as the generator run. Assign one to
+	// SimConfig.Profiles.
+	ProfileCache = sim.ProfileCache
 
 	// Experiment regenerates one paper table or figure.
 	Experiment = experiments.Experiment
@@ -194,8 +199,20 @@ const DefaultTraceCacheBytes = trace.DefaultCacheBytes
 // resident columns (<= 0 means unbounded). A non-empty spillDir makes it
 // persistent: traces are written through as BTR1 files and reloaded on
 // demand, including by later processes pointed at the same directory.
+// Spill filenames embed the workload registry's fingerprint (a hash of
+// every spec's name, target and seed), so a directory written by a
+// build with different workloads self-invalidates instead of serving
+// stale recordings.
 func NewTraceCache(maxBytes int64, spillDir string) *TraceCache {
-	return trace.NewCache(maxBytes, spillDir)
+	return trace.NewCache(maxBytes, spillDir, workload.RegistryFingerprint())
+}
+
+// NewProfileCache builds a cache of classified pass-1 results. Assign it
+// to SimConfig.Profiles so repeated runs over the same (workload, scale,
+// chunk) skip the profiling replay entirely; experiment contexts built
+// via NewExperimentContext share one automatically.
+func NewProfileCache() *ProfileCache {
+	return sim.NewProfileCache()
 }
 
 // Predictor constructors (the paper's §3 configurations and the

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	brexp [-scale 1.0] [-workers N] [-out results] [-run all|T1,F13,...]
-//	      [-sched=false] [-cachedir dir]
+//	      [-sched=false] [-chunktasks N] [-cachedir dir]
 //
 // Each experiment is written to <out>/<id>.txt; -list shows the catalog.
 package main
@@ -22,11 +22,12 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale; 1.0 = Table 1 counts /1000")
 	workers := flag.Int("workers", 0, "scheduler workers (0 = GOMAXPROCS)")
-	bankWorkers := flag.Int("bankworkers", 0, "sweep batches per input's predictor bank (0 = GOMAXPROCS)")
+	bankWorkers := flag.Int("bankworkers", 0, "sweep batches per input's predictor bank in the non-chunked engines (0 = GOMAXPROCS)")
 	chunk := flag.Int("chunk", 0, "recorded-trace chunk size in events (0 = default)")
+	chunkTasks := flag.Int("chunktasks", 0, "chunks per (slot, chunk-range) sweep task (0 = default; negative = whole-trace slot batches, the pre-chunk-axis shape)")
 	noRecord := flag.Bool("norecord", false, "regenerate workloads per pass instead of record/replay (slower, lower memory)")
 	sched := flag.Bool("sched", true, "global work-stealing scheduler over (input, bank-batch) tasks; false = legacy nested pools")
-	cachedir := flag.String("cachedir", "", "spill recorded traces to BTR1 files here and reuse them across runs (delete the dir when workloads change)")
+	cachedir := flag.String("cachedir", "", "spill recorded traces to BTR1 files here and reuse them across runs (filenames carry the workload-registry fingerprint, so a dir written by older workloads self-invalidates)")
 	out := flag.String("out", "results", "output directory")
 	run := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 	list := flag.Bool("list", false, "list experiments and exit")
@@ -61,6 +62,7 @@ func main() {
 		Workers:     *workers,
 		BankWorkers: *bankWorkers,
 		ChunkEvents: *chunk,
+		ChunkTasks:  *chunkTasks,
 		NoRecord:    *noRecord,
 		NoSched:     !*sched,
 	}

@@ -29,7 +29,7 @@ func main() {
 	tracePath := flag.String("trace", "", "BTR1 trace file instead of a workload")
 	pred := flag.String("pred", "pas", "predictor kind")
 	k := flag.Int("k", 8, "history length")
-	cachedir := flag.String("cachedir", "", "reuse recorded workload traces as BTR1 files in this directory across invocations (delete the dir when workloads change)")
+	cachedir := flag.String("cachedir", "", "reuse recorded workload traces as BTR1 files in this directory across invocations (filenames carry the workload-registry fingerprint, so a dir written by older workloads self-invalidates)")
 	flag.Parse()
 
 	// Workloads are recorded once into an in-memory chunked trace: the
@@ -47,7 +47,9 @@ func main() {
 		var cache *trace.Cache
 		key := trace.CacheKey{Name: spec.Name(), Fingerprint: spec.Fingerprint(), Scale: *scale}
 		if *cachedir != "" {
-			cache = trace.NewCache(trace.DefaultCacheBytes, *cachedir)
+			// The registry-fingerprinted constructor: spill files from a
+			// stale workload generation are ignored, not trusted.
+			cache = btr.NewTraceCache(btr.DefaultTraceCacheBytes, *cachedir)
 			if rec, ok := cache.Get(key); ok {
 				recorded = rec
 			}

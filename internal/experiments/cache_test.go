@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"sync/atomic"
 	"testing"
 
@@ -32,7 +33,7 @@ func countingSpecs(runs *atomic.Int64) []workload.Spec {
 func TestSecondContextHitsCache(t *testing.T) {
 	var runs atomic.Int64
 	specs := countingSpecs(&runs)
-	cache := trace.NewCache(0, "")
+	cache := trace.NewCache(0, "", 0)
 	cfg := sim.Config{Scale: 1, Workers: 2, Cache: cache}
 
 	ctx1 := &Context{Cfg: cfg, Specs: specs}
@@ -63,20 +64,96 @@ func TestSecondContextHitsCache(t *testing.T) {
 	}
 }
 
+// TestSecondContextSkipsProfilingReplay is the pass-1 reuse guarantee
+// layered above the trace cache: with a profile cache wired in, a
+// second matching context performs zero pass-1 work — no generator runs
+// and no profiling replay either; every input is a profile-cache hit
+// whose recording comes back from the trace cache (which stays the
+// recording's only owner, so its LRU budget still governs memory) —
+// while producing identical results. Spelling the config's defaults
+// differently (Scale 0 vs 1) must not defeat the reuse: both caches
+// normalise their keys.
+func TestSecondContextSkipsProfilingReplay(t *testing.T) {
+	var runs atomic.Int64
+	specs := countingSpecs(&runs)
+	traces := trace.NewCache(0, "", 0)
+	profiles := sim.NewProfileCache()
+	cfg := sim.Config{Scale: 1, Workers: 2, Cache: traces, Profiles: profiles}
+
+	first := (&Context{Cfg: cfg, Specs: specs}).Suite()
+	ps := profiles.Stats()
+	if ps.Hits != 0 || ps.Misses != int64(len(specs)) {
+		t.Fatalf("first context profile stats %+v: want 0 hits, %d misses", ps, len(specs))
+	}
+
+	second := (&Context{Cfg: cfg, Specs: specs}).Suite()
+	if got := runs.Load(); got != int64(len(specs)) {
+		t.Fatalf("second context ran generators: %d total runs, want %d", got, len(specs))
+	}
+	ps = profiles.Stats()
+	if ps.Hits != int64(len(specs)) {
+		t.Fatalf("second context profile stats %+v: want %d hits (zero profiling replays)", ps, len(specs))
+	}
+	if first.Exec != second.Exec || first.Miss != second.Miss {
+		t.Fatal("profile-cache-served suite diverged from computed suite")
+	}
+	if !reflect.DeepEqual(first.Distribution, second.Distribution) {
+		t.Fatal("profile-cache-served distribution diverged")
+	}
+
+	// Scale 0 normalises to 1: a third context spelling the default
+	// differently must reuse both caches, not recompute pass 1.
+	aliased := cfg
+	aliased.Scale = 0
+	(&Context{Cfg: aliased, Specs: specs}).Suite()
+	if got := runs.Load(); got != int64(len(specs)) {
+		t.Fatalf("scale-0 context ran generators: %d total runs, want %d", got, len(specs))
+	}
+	if ps := profiles.Stats(); ps.Hits != int64(2*len(specs)) {
+		t.Fatalf("scale-0 context profile stats %+v: want %d hits", ps, 2*len(specs))
+	}
+
+	// A different hard-distance window shapes the cached histogram, so
+	// it must key separately: the run must miss the profile cache (the
+	// recording itself still comes from the trace cache — no generator
+	// runs) and produce correctly sized bins, not a foreign histogram.
+	windowed := cfg
+	windowed.HardDistanceWindow = 3
+	wsuite := (&Context{Cfg: windowed, Specs: specs}).Suite()
+	if got := runs.Load(); got != int64(len(specs)) {
+		t.Fatalf("windowed context ran generators: %d total runs, want %d", got, len(specs))
+	}
+	if ps := profiles.Stats(); ps.Hits != int64(2*len(specs)) {
+		t.Fatalf("windowed context hit the profile cache (%+v): different windows must not share entries", ps)
+	}
+	for _, r := range wsuite.Inputs {
+		if got := len(r.HardDistances.Bins); got != 4 {
+			t.Fatalf("windowed context histogram has %d bins, want 4", got)
+		}
+	}
+}
+
 // TestNewContextDefaultsToSharedCache pins that contexts built through
-// NewContext participate in the process-wide cache (unless recording is
-// off or a private cache is supplied).
+// NewContext participate in the process-wide caches (unless recording
+// is off or private caches are supplied).
 func TestNewContextDefaultsToSharedCache(t *testing.T) {
 	c1 := NewContext(sim.Config{Scale: 0.01})
 	c2 := NewContext(sim.Config{Scale: 0.01})
 	if c1.Cfg.Cache == nil || c1.Cfg.Cache != c2.Cfg.Cache {
 		t.Fatal("contexts must share the process-wide cache by default")
 	}
-	if NewContext(sim.Config{NoRecord: true}).Cfg.Cache != nil {
-		t.Fatal("NoRecord context must not get a cache")
+	if c1.Cfg.Profiles == nil || c1.Cfg.Profiles != c2.Cfg.Profiles {
+		t.Fatal("contexts must share the process-wide profile cache by default")
 	}
-	private := trace.NewCache(0, "")
+	if noRec := NewContext(sim.Config{NoRecord: true}); noRec.Cfg.Cache != nil || noRec.Cfg.Profiles != nil {
+		t.Fatal("NoRecord context must not get caches")
+	}
+	private := trace.NewCache(0, "", 0)
 	if NewContext(sim.Config{Cache: private}).Cfg.Cache != private {
 		t.Fatal("explicit cache must be kept")
+	}
+	privateProf := sim.NewProfileCache()
+	if NewContext(sim.Config{Profiles: privateProf}).Cfg.Profiles != privateProf {
+		t.Fatal("explicit profile cache must be kept")
 	}
 }

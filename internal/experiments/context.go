@@ -30,25 +30,38 @@ type Context struct {
 // here, keyed by (workload name, spec fingerprint, scale, chunk size),
 // so a second context with matching config — an ablation rerun, a
 // confidence study, an interference sweep — replays the first context's
-// recordings instead of running any generator again.
+// recordings instead of running any generator again. sharedProfiles is
+// its pass-1 sibling: the classified per-input result (sans Miss) and
+// attribution column, cached under the same keys, so that second
+// context also skips the profiling replay — a matching context performs
+// zero pass-1 work of any kind.
 var (
 	sharedCacheOnce sync.Once
 	sharedCacheInst *trace.Cache
+	sharedProfInst  *sim.ProfileCache
 )
 
-func sharedCache() *trace.Cache {
+func sharedCache() (*trace.Cache, *sim.ProfileCache) {
 	sharedCacheOnce.Do(func() {
-		sharedCacheInst = trace.NewCache(trace.DefaultCacheBytes, "")
+		sharedCacheInst = trace.NewCache(trace.DefaultCacheBytes, "", workload.RegistryFingerprint())
+		sharedProfInst = sim.NewProfileCache()
 	})
-	return sharedCacheInst
+	return sharedCacheInst, sharedProfInst
 }
 
 // NewContext builds a context over the full Table 1 suite. Unless the
-// config brings its own cache (or disables recording), recordings are
-// shared with every other context in the process via sharedCache.
+// config brings its own caches (or disables recording), recordings and
+// classified pass-1 results are shared with every other context in the
+// process via sharedCache.
 func NewContext(cfg sim.Config) *Context {
-	if cfg.Cache == nil && !cfg.NoRecord {
-		cfg.Cache = sharedCache()
+	if !cfg.NoRecord {
+		traces, profiles := sharedCache()
+		if cfg.Cache == nil {
+			cfg.Cache = traces
+		}
+		if cfg.Profiles == nil {
+			cfg.Profiles = profiles
+		}
 	}
 	return &Context{Cfg: cfg, Specs: workload.Suite()}
 }

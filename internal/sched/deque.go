@@ -1,0 +1,136 @@
+package sched
+
+import "sync/atomic"
+
+// deque is a lock-free Chase-Lev work-stealing deque (Chase & Lev,
+// "Dynamic Circular Work-Stealing Deque", SPAA 2005, with the memory-
+// order discipline of Lê et al., PPoPP 2013). The owning worker pushes
+// and pops at the bottom without synchronisation beyond atomic loads and
+// stores; thieves take from the top with a single CAS. The ring buffer
+// grows when full and is published through an atomic pointer, so a thief
+// holding a stale ring still reads valid slots: growth copies the live
+// window [top, bottom) and the owner never writes into an old ring again.
+//
+// The mutexed slice this replaces was fine when tasks were milliseconds;
+// chunk-range sweep tasks are tens of microseconds, so queue operations
+// moved onto the measured path. Every slot is an atomic.Pointer so the
+// race detector sees the (intentional) owner/thief slot races as what
+// they are: atomics, resolved by the CAS on top.
+type deque struct {
+	bottom atomic.Int64
+	top    atomic.Int64
+	ring   atomic.Pointer[ring]
+}
+
+// ring is one power-of-two circular buffer generation. Slot i of the
+// logical deque lives at index i&mask regardless of generation, which is
+// what keeps stale-ring reads coherent after growth.
+type ring struct {
+	mask  int64
+	slots []atomic.Pointer[Task]
+}
+
+const initialRingCap = 64
+
+func newRing(capacity int64) *ring {
+	return &ring{mask: capacity - 1, slots: make([]atomic.Pointer[Task], capacity)}
+}
+
+func (r *ring) cap() int64             { return r.mask + 1 }
+func (r *ring) load(i int64) *Task     { return r.slots[i&r.mask].Load() }
+func (r *ring) store(i int64, t *Task) { r.slots[i&r.mask].Store(t) }
+
+func (d *deque) init() {
+	d.ring.Store(newRing(initialRingCap))
+}
+
+// pushBottom appends a task at the bottom. Owner only.
+func (d *deque) pushBottom(t Task) {
+	b := d.bottom.Load()
+	top := d.top.Load()
+	r := d.ring.Load()
+	if b-top >= r.cap() {
+		r = d.grow(r, b, top)
+	}
+	r.store(b, &t)
+	d.bottom.Store(b + 1)
+}
+
+// grow doubles the ring, copying the live window. Owner only; thieves
+// keep reading their stale ring, whose live slots the owner will never
+// overwrite (it pushes only into the new ring).
+func (d *deque) grow(old *ring, b, top int64) *ring {
+	r := newRing(old.cap() * 2)
+	for i := top; i < b; i++ {
+		r.store(i, old.load(i))
+	}
+	d.ring.Store(r)
+	return r
+}
+
+// popBottom takes the newest task (LIFO). Owner only. The only contended
+// case is a single remaining element, resolved by the same CAS on top
+// that thieves use: whoever wins the CAS owns the task.
+//
+// Consumed slots are cleared so finished task closures (and whatever
+// they capture — for sweep tasks, an input's entire decoded column set)
+// don't stay reachable from the ring until the index wraps. Clearing is
+// safe here because no thief can claim the cleared index anymore: in
+// the b > t case top can reach b only after bottom is already b (thieves
+// then see an empty deque), and in the last-element case the slot is
+// cleared only after top has moved past it, so any straggler's CAS
+// fails before it would dereference.
+func (d *deque) popBottom() Task {
+	b := d.bottom.Load() - 1
+	r := d.ring.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: undo the reservation.
+		d.bottom.Store(t)
+		return nil
+	}
+	task := r.load(b)
+	if b > t {
+		r.store(b, nil)
+		return *task
+	}
+	// Last element: race thieves for it.
+	var out Task
+	if d.top.CompareAndSwap(t, t+1) {
+		out = *task
+	}
+	r.store(t, nil)
+	d.bottom.Store(t + 1)
+	return out
+}
+
+// stealTop takes the oldest task (FIFO). Safe from any goroutine.
+// retry reports a CAS loss against a concurrent thief or the owner's
+// last-element pop — the deque may still hold work, so a caller deciding
+// whether to park must not treat it as empty.
+func (d *deque) stealTop() (task Task, retry bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil, false
+	}
+	r := d.ring.Load()
+	got := r.load(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil, true
+	}
+	// Clear the claimed slot so the closure isn't pinned until the index
+	// wraps. Must be a CAS, not a store: the owner may already have
+	// wrapped bottom around the ring and pushed a fresh task into this
+	// physical slot (pushBottom allocates a distinct *Task every call,
+	// so pointer equality identifies exactly our claimed entry), and a
+	// plain store would destroy that task.
+	r.slots[t&r.mask].CompareAndSwap(got, nil)
+	return *got, false
+}
+
+// empty reports whether the deque currently appears drained.
+func (d *deque) empty() bool {
+	return d.top.Load() >= d.bottom.Load()
+}

@@ -1,30 +1,40 @@
 // Package sched is the process-wide work-stealing scheduler behind
-// sim.RunSuite: one pool of workers executing a single queue of tasks,
-// where a running task may fan out follow-up tasks into the same queue.
+// sim.RunSuite: one pool of workers executing a single logical queue of
+// tasks, where a running task may fan out follow-up tasks into the same
+// queue.
 //
 // The shape it replaces — a per-suite pool of input goroutines, each
 // spawning a private pool for its predictor-bank sweep — either
 // oversubscribes (Workers × BankWorkers goroutines) or idles: once the
 // small inputs drain, one large input's sweep is stuck on its private
 // pool while every other core sits empty. Here there is exactly one
-// pool. Each worker owns a deque; tasks it spawns push onto the bottom
-// of its own deque and are popped LIFO (the sweep batches of the input
-// it just profiled are the hottest work it has), while idle workers
+// pool. Each worker owns a lock-free Chase-Lev deque; tasks it spawns
+// push onto the bottom of its own deque and are popped LIFO (the next
+// chunk range of the sweep chain it just advanced is the hottest work it
+// has — the predictor tables are still in cache), while idle workers
 // steal from the top of a victim's deque FIFO (the oldest task is most
-// likely an un-started profile task — the biggest unit available, so a
-// thief amortises its steal). Late-arriving fan-out from a big input
-// therefore backfills cores freed by small ones.
+// likely an un-started chain head or profile task — the biggest unit
+// available, so a thief amortises its steal). External submissions land
+// in a shared injector queue that workers drain when their own deque is
+// empty.
 //
-// Tasks here are coarse — a whole workload profile run or a bank-batch
-// sweep over a full recorded trace, milliseconds to seconds each — so
-// the deques are small mutexed slices rather than lock-free Chase-Lev
-// arrays: queue operations are nanoseconds against task runtimes, and
-// the simple structure is easy to reason about under -race.
+// Tasks used to be coarse — milliseconds to seconds — and the deques
+// were small mutexed slices. The chunk-axis sweep decomposition shrank
+// tasks to tens of microseconds, which put queue operations on the
+// measured path: push/pop/steal are now entirely lock-free (see deque),
+// and the only mutex left guards the sleep path. Workers that find no
+// work park on a condition variable behind a Dekker-style handshake: a
+// submitter bumps an atomic stamp after publishing its task and wakes
+// sleepers only when the atomic parked counter is non-zero; a parking
+// worker registers itself, re-checks the stamp, and sleeps only if no
+// submit happened since its last full scan. Sequentially consistent
+// atomics make the lost-wakeup interleaving impossible.
 package sched
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Task is one schedulable unit of work. It runs on one of the
@@ -34,21 +44,25 @@ type Task func(w *Worker)
 // Scheduler owns a fixed set of workers draining one logical queue.
 // Submit tasks (from outside or from running tasks), then Wait.
 type Scheduler struct {
-	deques []deque
-	wg     sync.WaitGroup
+	deques   []deque
+	injector injector
 
-	mu       sync.Mutex
+	pending atomic.Int64  // tasks submitted but not yet finished
+	stamp   atomic.Uint64 // bumped on every submit; guards the sleep path
+	parked  atomic.Int32  // workers currently inside the condvar wait
+	quit    atomic.Bool
+
+	wg sync.WaitGroup
+
+	mu       sync.Mutex // guards cond and panicked only
 	cond     *sync.Cond
-	pending  int    // tasks submitted but not yet finished
-	stamp    uint64 // bumped on every submit; guards the sleep path
-	quit     bool
-	next     int // round-robin cursor for external submits
 	panicked []any
 }
 
 // Worker is the per-goroutine handle a Task receives. Submitting
-// through it pushes onto the worker's own deque, keeping fan-out local
-// until a thief takes it.
+// through it pushes onto the worker's own lock-free deque; it must only
+// be called from the task currently running on this worker (the deque
+// bottom is single-owner).
 type Worker struct {
 	s   *Scheduler
 	id  int
@@ -62,6 +76,9 @@ func New(n int) *Scheduler {
 	}
 	s := &Scheduler{deques: make([]deque, n)}
 	s.cond = sync.NewCond(&s.mu)
+	for i := range s.deques {
+		s.deques[i].init()
+	}
 	s.wg.Add(n)
 	for i := 0; i < n; i++ {
 		go s.run(i)
@@ -72,33 +89,38 @@ func New(n int) *Scheduler {
 // Workers returns the worker count.
 func (s *Scheduler) Workers() int { return len(s.deques) }
 
-// Submit enqueues a task from outside the pool, distributing
-// round-robin across worker deques. Tasks must not be submitted after
+// Submit enqueues a task from outside the pool into the shared injector
+// queue. Safe from any goroutine. Tasks must not be submitted after
 // Wait has returned.
 func (s *Scheduler) Submit(t Task) {
-	s.mu.Lock()
-	i := s.next % len(s.deques)
-	s.next++
-	s.enqueueLocked(&s.deques[i], t)
-	s.mu.Unlock()
+	// Pending is incremented before the task is published so Wait can
+	// never observe a queued-but-uncounted task.
+	s.pending.Add(1)
+	s.injector.push(t)
+	s.notify()
 }
 
-// Submit enqueues a follow-up task onto this worker's own deque.
+// Submit enqueues a follow-up task onto this worker's own deque, where
+// it will be popped LIFO (or stolen FIFO by an idle worker). Must be
+// called from the task running on w.
 func (w *Worker) Submit(t Task) {
 	s := w.s
-	s.mu.Lock()
-	s.enqueueLocked(&s.deques[w.id], t)
-	s.mu.Unlock()
+	s.pending.Add(1)
+	s.deques[w.id].pushBottom(t)
+	s.notify()
 }
 
-// enqueueLocked registers the task (pending, stamp) and pushes it.
-// Pending is incremented before the push so Wait can never observe a
-// queued-but-uncounted task; the broadcast wakes sleeping workers.
-func (s *Scheduler) enqueueLocked(d *deque, t Task) {
-	s.pending++
-	s.stamp++
-	d.pushBottom(t)
-	s.cond.Broadcast()
+// notify publishes "new work exists" to parking workers. The stamp bump
+// must follow the task's publication (it does: both are seq-cst atomics
+// in program order) and precede the parked check; see run for the other
+// half of the handshake.
+func (s *Scheduler) notify() {
+	s.stamp.Add(1)
+	if s.parked.Load() > 0 {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
 }
 
 // Wait blocks until every submitted task — including tasks submitted by
@@ -110,10 +132,13 @@ func (s *Scheduler) enqueueLocked(d *deque, t Task) {
 // is spent after Wait; build a new one for more work.
 func (s *Scheduler) Wait() {
 	s.mu.Lock()
-	for s.pending > 0 {
+	for s.pending.Load() > 0 {
 		s.cond.Wait()
 	}
-	s.quit = true
+	s.mu.Unlock()
+	s.quit.Store(true)
+	s.stamp.Add(1) // abort in-flight park attempts
+	s.mu.Lock()
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.wg.Wait()
@@ -125,35 +150,46 @@ func (s *Scheduler) Wait() {
 func (s *Scheduler) run(id int) {
 	defer s.wg.Done()
 	w := &Worker{s: s, id: id, rnd: uint64(id)*2654435761 + 0x9e3779b97f4a7c15}
+	d := &s.deques[id]
 	for {
-		if t := s.deques[id].popBottom(); t != nil {
+		if t := d.popBottom(); t != nil {
 			s.exec(w, t)
 			continue
 		}
-		if t := s.steal(w); t != nil {
+		if t := s.injector.pop(); t != nil {
 			s.exec(w, t)
 			continue
 		}
-		// Sleep path. Read the stamp, re-scan every deque, and only
-		// sleep if no submit happened since the read: a task enqueued
-		// before the read is found by the re-scan, one enqueued after
-		// it changes the stamp and aborts the sleep. Either way no
-		// wakeup is lost.
-		s.mu.Lock()
-		stamp := s.stamp
-		quit := s.quit
-		s.mu.Unlock()
-		if quit {
+		if t, retry := s.steal(w); t != nil {
+			s.exec(w, t)
+			continue
+		} else if retry {
+			// Lost a CAS race: the victim may still hold work, so spin
+			// another round rather than risking a park.
+			continue
+		}
+		// Park path. Read the stamp, re-scan everything, and only sleep
+		// if no submit happened since the read: a task enqueued before
+		// the read is found by the re-scan; one enqueued after it bumps
+		// the stamp, and either the parking worker sees the new stamp or
+		// the submitter sees the parked counter — seq-cst order forbids
+		// both loads missing (the Dekker argument), so no wakeup is lost.
+		stamp := s.stamp.Load()
+		if s.quit.Load() {
 			return
 		}
-		if t := s.scan(w); t != nil {
+		if t, retry := s.scan(w); t != nil {
 			s.exec(w, t)
+			continue
+		} else if retry {
 			continue
 		}
 		s.mu.Lock()
-		for s.stamp == stamp && !s.quit {
+		s.parked.Add(1)
+		for s.stamp.Load() == stamp && !s.quit.Load() {
 			s.cond.Wait()
 		}
+		s.parked.Add(-1)
 		s.mu.Unlock()
 	}
 }
@@ -165,86 +201,88 @@ func (s *Scheduler) run(id int) {
 // suite run.
 func (s *Scheduler) exec(w *Worker, t Task) {
 	defer func() {
-		r := recover()
-		s.mu.Lock()
-		if r != nil {
+		if r := recover(); r != nil {
+			s.mu.Lock()
 			s.panicked = append(s.panicked, r)
+			s.mu.Unlock()
 		}
-		s.pending--
-		if s.pending == 0 {
+		if s.pending.Add(-1) == 0 {
+			s.mu.Lock()
 			s.cond.Broadcast()
+			s.mu.Unlock()
 		}
-		s.mu.Unlock()
 	}()
 	t(w)
 }
 
 // steal takes the oldest task from another worker's deque, scanning
-// victims from a per-worker random start so thieves spread out.
-func (s *Scheduler) steal(w *Worker) Task {
+// victims from a per-worker random start so thieves spread out. retry
+// reports that some victim was non-empty but a CAS was lost — the
+// caller must not park on that evidence.
+func (s *Scheduler) steal(w *Worker) (Task, bool) {
 	n := len(s.deques)
 	if n == 1 {
-		return nil
+		return nil, false
 	}
 	w.rnd ^= w.rnd << 13
 	w.rnd ^= w.rnd >> 7
 	w.rnd ^= w.rnd << 17
 	start := int(w.rnd % uint64(n))
+	sawContention := false
 	for i := 0; i < n; i++ {
 		v := (start + i) % n
 		if v == w.id {
 			continue
 		}
-		if t := s.deques[v].stealTop(); t != nil {
-			return t
+		if t, retry := s.deques[v].stealTop(); t != nil {
+			return t, false
+		} else if retry {
+			sawContention = true
 		}
 	}
-	return nil
+	return nil, sawContention
 }
 
-// scan checks the worker's own deque and then every victim — the full
-// re-check before sleeping.
-func (s *Scheduler) scan(w *Worker) Task {
+// scan checks the worker's own deque, the injector, and every victim —
+// the full re-check before parking.
+func (s *Scheduler) scan(w *Worker) (Task, bool) {
 	if t := s.deques[w.id].popBottom(); t != nil {
-		return t
+		return t, false
+	}
+	if t := s.injector.pop(); t != nil {
+		return t, false
 	}
 	return s.steal(w)
 }
 
-// deque is a mutexed double-ended task queue: the owner pushes and pops
-// at the bottom (LIFO), thieves take from the top (FIFO).
-type deque struct {
-	mu    sync.Mutex
-	tasks []Task
+// injector is the shared FIFO for external submissions. It is mutexed —
+// external submits are per-input, orders of magnitude rarer than the
+// per-chunk-range worker traffic that rides the lock-free deques — and
+// pops amortise the head index against the backing slice.
+type injector struct {
+	mu   sync.Mutex
+	q    []Task
+	head int
 }
 
-func (d *deque) pushBottom(t Task) {
-	d.mu.Lock()
-	d.tasks = append(d.tasks, t)
-	d.mu.Unlock()
+func (in *injector) push(t Task) {
+	in.mu.Lock()
+	in.q = append(in.q, t)
+	in.mu.Unlock()
 }
 
-func (d *deque) popBottom() Task {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	n := len(d.tasks)
-	if n == 0 {
+func (in *injector) pop() Task {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.head >= len(in.q) {
 		return nil
 	}
-	t := d.tasks[n-1]
-	d.tasks[n-1] = nil
-	d.tasks = d.tasks[:n-1]
-	return t
-}
-
-func (d *deque) stealTop() Task {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if len(d.tasks) == 0 {
-		return nil
+	t := in.q[in.head]
+	in.q[in.head] = nil
+	in.head++
+	if in.head == len(in.q) {
+		in.q = in.q[:0]
+		in.head = 0
 	}
-	t := d.tasks[0]
-	d.tasks[0] = nil
-	d.tasks = d.tasks[1:]
 	return t
 }

@@ -117,6 +117,7 @@ func TestManyConcurrentSubmitters(t *testing.T) {
 
 func TestDequeOrder(t *testing.T) {
 	var d deque
+	d.init()
 	mk := func(id int, out *[]int) Task {
 		return func(*Worker) { *out = append(*out, id) }
 	}
@@ -124,13 +125,117 @@ func TestDequeOrder(t *testing.T) {
 	d.pushBottom(mk(1, &got))
 	d.pushBottom(mk(2, &got))
 	d.pushBottom(mk(3, &got))
-	d.stealTop()(nil)  // oldest: 1
+	st, _ := d.stealTop()
+	st(nil)            // oldest: 1
 	d.popBottom()(nil) // newest: 3
 	d.popBottom()(nil) // 2
-	if d.popBottom() != nil || d.stealTop() != nil {
+	if !d.empty() {
+		t.Fatal("deque must report empty")
+	}
+	if st, _ := d.stealTop(); d.popBottom() != nil || st != nil {
 		t.Fatal("deque must be empty")
 	}
 	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 2 {
 		t.Fatalf("order %v, want [1 3 2]", got)
+	}
+}
+
+// TestDequeGrow pushes far past the initial ring capacity and drains
+// from both ends, pinning that growth preserves order and loses nothing.
+func TestDequeGrow(t *testing.T) {
+	var d deque
+	d.init()
+	const n = 10 * initialRingCap
+	seen := make([]bool, n)
+	for i := 0; i < n; i++ {
+		i := i
+		d.pushBottom(func(*Worker) { seen[i] = true })
+	}
+	// Alternate steals (oldest) and pops (newest) until drained.
+	for drained := 0; drained < n; {
+		if st, _ := d.stealTop(); st != nil {
+			st(nil)
+			drained++
+		}
+		if drained < n {
+			if p := d.popBottom(); p != nil {
+				p(nil)
+				drained++
+			}
+		}
+	}
+	if !d.empty() {
+		t.Fatal("deque must be empty after draining")
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("task %d lost across ring growth", i)
+		}
+	}
+}
+
+// TestStress100kMicroTasks floods the scheduler with 1e5 microsecond-
+// scale tasks — a mix of external submissions and worker fan-out — and
+// verifies every one runs exactly once. This is the -race workout for
+// the Chase-Lev deque and the park/unpark protocol.
+func TestStress100kMicroTasks(t *testing.T) {
+	const (
+		roots  = 1_000
+		perFan = 99 // 1_000 roots × (1 + 99) = 100_000 tasks
+	)
+	for _, workers := range []int{1, 4, 16} {
+		s := New(workers)
+		counts := make([]atomic.Int32, roots*(perFan+1))
+		for r := 0; r < roots; r++ {
+			r := r
+			s.Submit(func(w *Worker) {
+				counts[r*(perFan+1)].Add(1)
+				for j := 1; j <= perFan; j++ {
+					j := j
+					w.Submit(func(*Worker) {
+						counts[r*(perFan+1)+j].Add(1)
+					})
+				}
+			})
+		}
+		s.Wait()
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times, want exactly 1", workers, i, got)
+			}
+		}
+	}
+}
+
+// TestStealContentionExactlyOnce aims every worker at one victim's deque
+// simultaneously: a single task fans out a large batch, a barrier holds
+// all workers until the batch is fully published, and per-task counters
+// then prove no task was lost or duplicated through the CAS races.
+func TestStealContentionExactlyOnce(t *testing.T) {
+	const tasks = 4096
+	for round := 0; round < 8; round++ {
+		workers := 8
+		s := New(workers)
+		counts := make([]atomic.Int32, tasks)
+		var gate sync.WaitGroup
+		gate.Add(1)
+		// Park the other workers on the gate so the fan-out below all
+		// lands in one deque before the thieves pounce at once.
+		for i := 0; i < workers-1; i++ {
+			s.Submit(func(*Worker) { gate.Wait() })
+		}
+		s.Submit(func(w *Worker) {
+			for i := 0; i < tasks; i++ {
+				i := i
+				w.Submit(func(*Worker) { counts[i].Add(1) })
+			}
+			gate.Done()
+		})
+		s.Wait()
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("round %d: task %d ran %d times, want exactly 1", round, i, got)
+			}
+		}
 	}
 }

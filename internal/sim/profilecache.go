@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"sync"
+
+	"btr/internal/trace"
+)
+
+// ProfileCache caches the classified pass-1 result of an input — the
+// InputResult shell sans Miss (profiles, classes, Exec, hard-distance
+// histogram) plus the per-event attribution column — so a later run
+// with a matching key skips the profiling replay entirely, not just the
+// generator run a trace.Cache hit saves. Keys are the (name,
+// fingerprint, scale, chunk) quadruple of trace.CacheKey — which pins a
+// recording (and therefore its derived classification) bit for bit —
+// plus the hard-distance window, which sizes the cached histogram.
+// Callers must pass normalised trace keys (trace.CacheKey.Normalised)
+// so configs that spell the defaults differently share entries.
+//
+// Entries deliberately do NOT hold the recorded trace: the recording's
+// lifetime belongs to the trace.Cache and its LRU byte budget, and a
+// profile entry pinning it would defeat that bound. profileStage re-
+// fetches the recording on a hit and recomputes from scratch in the
+// rare case it was evicted without a spill path. What an entry does
+// retain — the attribution column (~1 byte/event) and the per-branch
+// profile maps — is an order of magnitude lighter than the recordings.
+//
+// Served results share the immutable pass-1 artifacts (Profiles map,
+// ClassMap, histogram, class column) with every other run of the same
+// key; only the returned InputResult struct itself is a fresh copy,
+// whose zero Miss the caller's own sweep fills in. Callers must treat
+// the shared artifacts as read-only — the pipeline does.
+type ProfileCache struct {
+	mu      sync.Mutex
+	entries map[profileKey]*profileEntry
+	stats   ProfileCacheStats
+}
+
+// profileKey pins everything a cached pass-1 result depends on: the
+// recording's identity plus the hard-distance window, which shapes the
+// cached histogram's bin count — configs with different windows must
+// not serve each other's histograms.
+type profileKey struct {
+	trace.CacheKey
+	window int
+}
+
+type profileEntry struct {
+	tmpl     InputResult // Miss all-zero, Recorded nil; the rest filled
+	classIdx []uint8
+}
+
+// ProfileCacheStats counts cache traffic.
+type ProfileCacheStats struct {
+	Hits   int64
+	Misses int64
+}
+
+// NewProfileCache returns an empty profile cache. It is unbounded: one
+// entry costs roughly a byte per recorded event (the attribution column)
+// plus the per-branch profile maps, an order of magnitude less than the
+// recordings a trace.Cache holds for the same suite.
+func NewProfileCache() *ProfileCache {
+	return &ProfileCache{entries: make(map[profileKey]*profileEntry)}
+}
+
+// get returns a sweep-ready copy of the cached shell for key, with
+// Recorded still nil — the caller supplies the recording.
+func (c *ProfileCache) get(key trace.CacheKey, window int) (*InputResult, []uint8, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[profileKey{key, window}]
+	if e == nil {
+		c.stats.Misses++
+		return nil, nil, false
+	}
+	c.stats.Hits++
+	res := e.tmpl // struct copy: private Miss, shared pass-1 artifacts
+	return &res, e.classIdx, true
+}
+
+// put snapshots res (which must not have Miss filled yet — profileStage
+// calls it before any sweep runs) under key, dropping the recording
+// reference so the trace.Cache stays the recording's only owner. First
+// writer wins; a concurrent duplicate of the same deterministic result
+// is dropped.
+func (c *ProfileCache) put(key trace.CacheKey, window int, res *InputResult, classIdx []uint8) {
+	pk := profileKey{key, window}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[pk]; ok {
+		return
+	}
+	e := &profileEntry{tmpl: *res, classIdx: classIdx}
+	e.tmpl.Recorded = nil
+	c.entries[pk] = e
+}
+
+// Stats returns a snapshot of the hit/miss counters.
+func (c *ProfileCache) Stats() ProfileCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

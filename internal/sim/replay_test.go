@@ -93,35 +93,43 @@ func TestReplayChunkSizeIrrelevant(t *testing.T) {
 
 // TestRunSuitePanickingWorkloadDropped pins suite resilience: a workload
 // whose generator panics is dropped and reported — spec and recovered
-// panic value included — and the rest of the suite completes. Both
-// engines (scheduled and legacy pool) must behave identically.
+// panic value included — and the rest of the suite completes. All three
+// engines (chunked scheduler, slot-only scheduler, legacy pool) must
+// behave identically.
 func TestRunSuitePanickingWorkloadDropped(t *testing.T) {
-	for _, noSched := range []bool{false, true} {
+	cases := []struct {
+		label string
+		cfg   Config
+	}{
+		{"chunked", Config{Scale: testScale, Workers: 2}},
+		{"slot-only", Config{Scale: testScale, Workers: 2, ChunkTasks: -1}},
+		{"legacy-pool", Config{Scale: testScale, Workers: 2, NoSched: true}},
+	}
+	for _, tc := range cases {
 		bad := workload.NewSpec("synthetic", "panics", 100, 1,
 			func(tr *workload.T, r *rng.Rand, target int64) {
 				panic("synthetic workload failure")
 			})
 		good := testSpec(t, "perl", "primes.pl")
-		suite := RunSuite([]workload.Spec{bad, good},
-			Config{Scale: testScale, Workers: 2, NoSched: noSched})
+		suite := RunSuite([]workload.Spec{bad, good}, tc.cfg)
 		if len(suite.Dropped) != 1 {
-			t.Fatalf("noSched=%v: Dropped = %v, want 1 entry", noSched, suite.Dropped)
+			t.Fatalf("%s: Dropped = %v, want 1 entry", tc.label, suite.Dropped)
 		}
 		d := suite.Dropped[0]
 		if d.Spec.Bench != "synthetic" || d.Spec.Input != "panics" {
-			t.Fatalf("noSched=%v: dropped spec %q, want synthetic/panics", noSched, d.Spec.Name())
+			t.Fatalf("%s: dropped spec %q, want synthetic/panics", tc.label, d.Spec.Name())
 		}
 		if d.Err == nil || !strings.Contains(d.Err.Error(), "synthetic workload failure") {
-			t.Fatalf("noSched=%v: dropped err %v must carry the panic value", noSched, d.Err)
+			t.Fatalf("%s: dropped err %v must carry the panic value", tc.label, d.Err)
 		}
 		if !strings.Contains(d.Error(), "synthetic/panics") {
-			t.Fatalf("noSched=%v: Error() = %q must name the input", noSched, d.Error())
+			t.Fatalf("%s: Error() = %q must name the input", tc.label, d.Error())
 		}
 		if len(suite.Inputs) != 1 || suite.Inputs[0].Spec.Bench != "perl" {
-			t.Fatalf("noSched=%v: surviving inputs wrong: %d", noSched, len(suite.Inputs))
+			t.Fatalf("%s: surviving inputs wrong: %d", tc.label, len(suite.Inputs))
 		}
 		if suite.TotalEvents() == 0 {
-			t.Fatalf("noSched=%v: surviving workload's events lost", noSched)
+			t.Fatalf("%s: surviving workload's events lost", tc.label)
 		}
 	}
 }

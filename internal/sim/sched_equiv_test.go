@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"reflect"
 	"runtime"
 	"testing"
@@ -38,6 +39,40 @@ func TestScheduledMatchesLegacy(t *testing.T) {
 		cfg.Workers = workers
 		sched := RunSuite(specs, cfg)
 		assertSuitesEqual(t, "scheduled-vs-legacy", legacy, sched)
+	}
+}
+
+// TestChunkedMatrixMatchesLegacy is the chunk-axis equivalence matrix:
+// {legacy pool, slot-only scheduler, slot×chunk scheduler} × workers
+// {1, 4, GOMAXPROCS} × chunk-task sizes {1, 7, all} must all produce
+// bit-identical SuiteResults. A small ChunkEvents forces many chunks at
+// test scale so the chunk axis genuinely has ranges to split.
+func TestChunkedMatrixMatchesLegacy(t *testing.T) {
+	specs := []workload.Spec{
+		testSpec(t, "compress", "bigtest.in"),
+		testSpec(t, "gcc", "genoutput.i"),
+		testSpec(t, "li", "ref.lsp"),
+	}
+	base := Config{Scale: testScale, ChunkEvents: 256}
+
+	legacyCfg := base
+	legacyCfg.NoSched = true
+	legacy := RunSuite(specs, legacyCfg)
+
+	const allChunks = 1 << 30
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		slotCfg := base
+		slotCfg.Workers = workers
+		slotCfg.ChunkTasks = -1
+		assertSuitesEqual(t, fmt.Sprintf("slot-only/workers=%d", workers),
+			legacy, RunSuite(specs, slotCfg))
+		for _, stride := range []int{1, 7, allChunks} {
+			cfg := base
+			cfg.Workers = workers
+			cfg.ChunkTasks = stride
+			assertSuitesEqual(t, fmt.Sprintf("chunked/workers=%d/stride=%d", workers, stride),
+				legacy, RunSuite(specs, cfg))
+		}
 	}
 }
 

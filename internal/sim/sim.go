@@ -86,6 +86,24 @@ type Config struct {
 	// implies NoSched, since the scheduler's sweep tasks replay the
 	// recorded trace.
 	NoSched bool
+	// ChunkTasks sets the chunk-axis granularity of the scheduled sweep:
+	// each (slot, chunk-range) task advances one predictor slot over this
+	// many recorded chunks before re-queueing its chain's continuation,
+	// so one input's sweep decomposes into numBankSlots chains of
+	// tens-of-microseconds tasks instead of BankWorkers whole-trace
+	// batches. 0 means DefaultChunkTasks. Negative restores the PR-2
+	// slot-only shape (whole-trace slot-batch tasks, one decode per
+	// batch), kept as the equivalence and benchmark baseline. The value
+	// is result-invisible: every granularity is bit-for-bit identical
+	// (TestChunkedMatrixMatchesLegacy).
+	ChunkTasks int
+	// Profiles, when non-nil, caches each input's classified pass-1
+	// result (profiles, classes, Exec, hard distances, attribution
+	// column — everything except Miss) keyed like Cache. A hit skips the
+	// profiling replay entirely, not just the generator run, so a second
+	// experiment context performs zero pass-1 work. Ignored under
+	// NoRecord.
+	Profiles *ProfileCache
 	// Cache, when non-nil, is consulted before pass 1: a recording with
 	// a matching (name, scale, chunk) key replays into the profiler
 	// instead of running the generator, and fresh recordings are
@@ -94,16 +112,19 @@ type Config struct {
 	Cache *trace.Cache
 }
 
-// cacheKey is the recording's identity for Config.Cache lookups. The
-// spec fingerprint keeps same-named custom specs (different target,
-// seed or generator parameters) from aliasing each other's recordings.
+// cacheKey is the recording's identity for Config.Cache and
+// Config.Profiles lookups, in normalised form so configs that spell the
+// defaults differently (Scale 0 vs 1, ChunkEvents 0 vs the default)
+// share entries in both caches. The spec fingerprint keeps same-named
+// custom specs (different target, seed or generator parameters) from
+// aliasing each other's recordings.
 func (c Config) cacheKey(spec workload.Spec) trace.CacheKey {
 	return trace.CacheKey{
 		Name:        spec.Name(),
 		Fingerprint: spec.Fingerprint(),
 		Scale:       c.Scale,
 		ChunkEvents: c.ChunkEvents,
-	}
+	}.Normalised()
 }
 
 func (c Config) window() int {
@@ -111,6 +132,20 @@ func (c Config) window() int {
 		return 8
 	}
 	return c.HardDistanceWindow
+}
+
+// DefaultChunkTasks is the chunk-range width of one scheduled sweep
+// task: one recorded chunk (DefaultChunkEvents events) per slot per task
+// lands in the tens-of-microseconds range — coarse enough that the
+// lock-free deque overhead is noise, fine enough that work stealing can
+// level the tail of a single huge input across every core.
+const DefaultChunkTasks = 1
+
+func (c Config) chunkTasks() int {
+	if c.ChunkTasks == 0 {
+		return DefaultChunkTasks
+	}
+	return c.ChunkTasks
 }
 
 func (c Config) bankWorkers() int {
@@ -225,7 +260,7 @@ func RunInput(spec workload.Spec, cfg Config) *InputResult {
 	if cfg.NoRecord {
 		return runInputRegenerate(spec, cfg)
 	}
-	res, classIdx := profileStage(spec, cfg)
+	res, classIdx, _ := profileStage(spec, cfg, false)
 
 	// Pass 2: shard the (kind, k) bank slots round-robin across workers.
 	// Each worker replays the trace chunk-major — one decode per chunk,
@@ -274,11 +309,65 @@ func profileRecorded(spec workload.Spec, cfg Config) (*core.Profiler, *trace.Chu
 	return profiler, rec
 }
 
+// decodedChunk is one recorded chunk's decoded PC column, retained so
+// chunk-range sweep tasks index straight into it instead of re-decoding
+// the delta column per slot chain. pcs is a private copy; dirs aliases
+// the trace's immutable bitmap. base is the chunk's first event index,
+// the offset into the per-event class column.
+type decodedChunk struct {
+	pcs  []uint64
+	dirs []uint64
+	n    int
+	base int64
+}
+
+// decodeColumns decodes every chunk of a recorded trace into retained
+// columns — the sweep-side rebuild used when a profile-cache hit skips
+// the attribution replay that would otherwise have produced them.
+func decodeColumns(tr *trace.ChunkedTrace) []decodedChunk {
+	out := make([]decodedChunk, 0, tr.Chunks())
+	rep := tr.NewReplayer()
+	var base int64
+	for {
+		pcs, dirs, n, ok := rep.NextChunk()
+		if !ok {
+			return out
+		}
+		cp := make([]uint64, n)
+		copy(cp, pcs)
+		out = append(out, decodedChunk{pcs: cp, dirs: dirs, n: n, base: base})
+		base += int64(n)
+	}
+}
+
 // profileStage is the schedulable first half of RunInput: pass 1 plus
 // the attribution pre-pass. It returns the result shell (Exec, classes,
 // distances and the recorded trace filled in; Miss still zero) and the
-// per-event class column the bank sweep attributes against.
-func profileStage(spec workload.Spec, cfg Config) (*InputResult, []uint8) {
+// per-event class column the bank sweep attributes against. With
+// keepColumns the decoded PC columns produced along the way are retained
+// and returned, so the chunk-range sweep never decodes the trace again.
+//
+// cfg.Profiles is consulted first: on a hit the cached shell is copied
+// (Miss starts zero in the template, so the copy is sweep-ready), the
+// recording it was derived from comes back from cfg.Cache — the
+// recording's lifetime stays under the trace cache's LRU budget, not
+// pinned by profile entries — and no generator, profiler or attribution
+// work runs at all. If the recording was evicted without a spill path
+// the hit is unusable (the sweep needs the stream) and the stage falls
+// through to a full recompute.
+func profileStage(spec workload.Spec, cfg Config, keepColumns bool) (*InputResult, []uint8, []decodedChunk) {
+	if cfg.Profiles != nil && cfg.Cache != nil && !cfg.NoRecord {
+		if res, classIdx, ok := cfg.Profiles.get(cfg.cacheKey(spec), cfg.window()); ok {
+			if rec, ok := cfg.Cache.Get(cfg.cacheKey(spec)); ok {
+				res.Recorded = rec
+				var decoded []decodedChunk
+				if keepColumns {
+					decoded = decodeColumns(rec)
+				}
+				return res, classIdx, decoded
+			}
+		}
+	}
 	profiler, recorded := profileRecorded(spec, cfg)
 	classes := core.Classify(profiler.Profiles())
 
@@ -301,13 +390,22 @@ func profileStage(spec workload.Spec, cfg Config) (*InputResult, []uint8) {
 	const hardIdx = 5*core.NumClasses + 5 // the 5/5 joint class, flattened
 	lookup := denseClasses(classes)
 	classIdx := make([]uint8, recorded.Events())
+	var decoded []decodedChunk
+	if keepColumns {
+		decoded = make([]decodedChunk, 0, recorded.Chunks())
+	}
 	var pos, lastHard int64
 	sawHard := false
 	rep := recorded.NewReplayer()
 	for {
-		pcs, _, n, ok := rep.NextChunk()
+		pcs, dirs, n, ok := rep.NextChunk()
 		if !ok {
 			break
+		}
+		if keepColumns {
+			cp := make([]uint64, n)
+			copy(cp, pcs)
+			decoded = append(decoded, decodedChunk{pcs: cp, dirs: dirs, n: n, base: pos})
 		}
 		for i := 0; i < n; i++ {
 			var ci uint8
@@ -330,14 +428,40 @@ func profileStage(spec workload.Spec, cfg Config) (*InputResult, []uint8) {
 		}
 	}
 
-	return res, classIdx
+	if cfg.Profiles != nil && !cfg.NoRecord {
+		cfg.Profiles.put(cfg.cacheKey(spec), cfg.window(), res, classIdx)
+	}
+	return res, classIdx, decoded
 }
 
 // missCell is one bank slot's flat class-attributed miss counters.
 type missCell = [core.NumClasses * core.NumClasses]int64
 
+// addCell accumulates src into dst; int64 sums make every reduction
+// order bit-identical.
+func addCell(dst, src *missCell) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
 // numBankSlots counts the (kind, k) configurations of the paper's sweep.
 const numBankSlots = int(NumKinds) * NumHistories
+
+// bankSlotPredictor builds the predictor for flat bank slot i — the one
+// place the slot-index ↔ (kind, k) mapping is realised, shared by the
+// batch engine (bankGroups) and the chunk-chain engine (newChunkSweep).
+func bankSlotPredictor(i int) chunkSweeper {
+	kind, k := Kind(i/NumHistories), i%NumHistories
+	switch kind {
+	case KindPAs:
+		return bpred.NewPAs(k)
+	case KindGAs:
+		return bpred.NewGAs(k)
+	default:
+		panic(fmt.Sprintf("sim: bank slot %d has no predictor kind", i))
+	}
+}
 
 // bankGroups builds the predictor bank — PAs(k) and GAs(k) for every
 // history length — and splits its slots round-robin into at most
@@ -351,15 +475,7 @@ func bankGroups(groups int, misses []missCell) [][]bankSlot {
 	}
 	out := make([][]bankSlot, groups)
 	for i := 0; i < numBankSlots; i++ {
-		kind, k := Kind(i/NumHistories), i%NumHistories
-		var p chunkSweeper
-		switch kind {
-		case KindPAs:
-			p = bpred.NewPAs(k)
-		case KindGAs:
-			p = bpred.NewGAs(k)
-		}
-		out[i%groups] = append(out[i%groups], bankSlot{p: p, miss: &misses[i]})
+		out[i%groups] = append(out[i%groups], bankSlot{p: bankSlotPredictor(i), miss: &misses[i]})
 	}
 	return out
 }
@@ -436,8 +552,8 @@ type bankSlot struct {
 
 // sweepSlots replays the recorded trace through a group of bank slots,
 // chunk-major: each chunk is decoded once, every slot's predictor batch-
-// processes the decoded columns into a misprediction bitmap, and the set
-// bits are attributed to the per-event joint classes in classIdx.
+// processes the decoded columns via sweepDecodedChunk, attributing set
+// bits to the per-event joint classes in classIdx.
 func sweepSlots(slots []bankSlot, recorded *trace.ChunkedTrace, classIdx []uint8) {
 	rep := recorded.NewReplayer()
 	var wrong []uint64
@@ -447,41 +563,51 @@ func sweepSlots(slots []bankSlot, recorded *trace.ChunkedTrace, classIdx []uint8
 		if !ok {
 			return
 		}
-		words := (n + 63) / 64
-		if len(wrong) < words {
+		if words := (n + 63) / 64; len(wrong) < words {
 			wrong = make([]uint64, words)
 		}
+		d := decodedChunk{pcs: pcs, dirs: dirs, n: n, base: base}
 		cls := classIdx[base : base+int64(n)]
 		for _, s := range slots {
-			for w := range wrong[:words] {
-				wrong[w] = 0
-			}
-			s.p.SweepChunk(pcs, dirs, n, wrong)
-			// Popcount pre-scan: total mispredictions in the chunk. An
-			// all-correct chunk — the common case for easy classes at
-			// high k — skips attribution entirely, and otherwise the
-			// running count stops the word walk as soon as the last
-			// miss has been attributed, bulk-skipping the zero tail.
-			total := 0
-			for w := 0; w < words; w++ {
-				total += mathbits.OnesCount64(wrong[w])
-			}
-			if total == 0 {
-				continue
-			}
-			miss := s.miss
-			for w := 0; total > 0; w++ {
-				bits := wrong[w]
-				if bits == 0 {
-					continue
-				}
-				total -= mathbits.OnesCount64(bits)
-				for ; bits != 0; bits &= bits - 1 {
-					miss[cls[w*64+mathbits.TrailingZeros64(bits)]]++
-				}
-			}
+			sweepDecodedChunk(s.p, &d, cls, s.miss, wrong)
 		}
 		base += int64(n)
+	}
+}
+
+// sweepDecodedChunk advances one bank slot over one decoded chunk,
+// attributing mispredictions into cell — the shared inner loop of both
+// sweep shapes (per-batch-decoded sweepSlots and the chunk-range tasks'
+// pre-decoded columns). wrong is the caller's scratch bitmap, at least
+// (n+63)/64 words.
+//
+// The popcount pre-scan totals the chunk's mispredictions first: an
+// all-correct chunk — the common case for easy classes at high k —
+// skips attribution entirely, and otherwise the running count stops the
+// word walk as soon as the last miss has been attributed, bulk-skipping
+// the zero tail.
+func sweepDecodedChunk(p chunkSweeper, d *decodedChunk, cls []uint8, cell *missCell, wrong []uint64) {
+	words := (d.n + 63) / 64
+	for w := range wrong[:words] {
+		wrong[w] = 0
+	}
+	p.SweepChunk(d.pcs, d.dirs, d.n, wrong)
+	total := 0
+	for w := 0; w < words; w++ {
+		total += mathbits.OnesCount64(wrong[w])
+	}
+	if total == 0 {
+		return
+	}
+	for w := 0; total > 0; w++ {
+		bits := wrong[w]
+		if bits == 0 {
+			continue
+		}
+		total -= mathbits.OnesCount64(bits)
+		for ; bits != 0; bits &= bits - 1 {
+			cell[cls[w*64+mathbits.TrailingZeros64(bits)]]++
+		}
 	}
 }
 

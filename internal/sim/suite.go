@@ -11,6 +11,7 @@ import (
 	"btr/internal/core"
 	"btr/internal/sched"
 	"btr/internal/stats"
+	"btr/internal/trace"
 	"btr/internal/workload"
 )
 
@@ -101,44 +102,66 @@ func runSuiteScheduled(specs []workload.Spec, cfg Config) *SuiteResult {
 	s := sched.New(workers)
 	results := make([]*InputResult, len(specs))
 	errs := make([]error, len(specs))
-	// Sweep batches per input: the bank pool sizing, clamped to the
-	// scheduler's worker count — more batches than workers would only
-	// buy redundant serial trace decodes (each batch decodes the trace
-	// once). One worker therefore means one batch and a single decode.
-	// Batch count is result-invisible (TestScheduledBatchCountIrrelevant).
-	batches := cfg.bankWorkers()
-	if batches > workers {
-		batches = workers
-	}
 	for i := range specs {
 		i := i
 		s.Submit(func(w *sched.Worker) {
-			profileTask(w, specs[i], cfg, batches, &results[i], &errs[i])
+			profileTask(w, specs[i], cfg, workers, &results[i], &errs[i])
 		})
 	}
 	s.Wait()
 	return aggregate(results, specs, errs, cfg)
 }
 
-// profileTask runs one input's pass 1 and fans out its bank sweep. A
-// panicking workload is converted to a per-input error (the result
-// stays nil and is reported via SuiteResult.Dropped); the suite run
-// continues. The last sweep batch to finish folds the counters and
-// publishes the result — Scheduler.Wait's barrier makes the write
-// visible to the aggregation.
-func profileTask(w *sched.Worker, spec workload.Spec, cfg Config, batches int, out **InputResult, errOut *error) {
+// profileTask runs one input's pass 1 and fans out its bank sweep as a
+// (slot × chunk-range) task grid (or whole-trace slot batches under
+// cfg.ChunkTasks < 0). A panicking workload is converted to a per-input
+// error (the result stays nil and is reported via SuiteResult.Dropped);
+// the suite run continues. The last sweep task to finish folds the
+// counters and publishes the result — Scheduler.Wait's barrier makes
+// the write visible to the aggregation.
+func profileTask(w *sched.Worker, spec workload.Spec, cfg Config, workers int, out **InputResult, errOut *error) {
+	chunked := cfg.ChunkTasks >= 0
 	var res *InputResult
 	var classIdx []uint8
+	var decoded []decodedChunk
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
 				*errOut = fmt.Errorf("workload panicked: %v", r)
 			}
 		}()
-		res, classIdx = profileStage(spec, cfg)
+		res, classIdx, decoded = profileStage(spec, cfg, chunked)
 	}()
 	if res == nil {
 		return
+	}
+	if !chunked {
+		slotOnlySweep(w, cfg, workers, res, classIdx, out)
+		return
+	}
+	cs := newChunkSweep(cfg.chunkTasks(), res, classIdx, decoded, out)
+	if cs.live.Load() == 0 {
+		// Empty recording: nothing to sweep, publish immediately.
+		*out = res
+		return
+	}
+	// Chain heads go out oldest-first: the submitting worker pops the
+	// last chain LIFO and rides it range by range (hot predictor
+	// tables), while thieves peel whole un-started chains FIFO.
+	for i := range cs.chains {
+		i := i
+		w.Submit(func(w *sched.Worker) { cs.advance(w, i) })
+	}
+}
+
+// slotOnlySweep is the PR-2 sweep shape, kept bit-identical as the
+// chunk-axis baseline (cfg.ChunkTasks < 0): BankWorkers whole-trace
+// batches, clamped to the worker count because each batch decodes the
+// trace itself — exactly the redundancy the chunk-range grid removes.
+func slotOnlySweep(w *sched.Worker, cfg Config, workers int, res *InputResult, classIdx []uint8, out **InputResult) {
+	batches := cfg.bankWorkers()
+	if batches > workers {
+		batches = workers
 	}
 	misses := make([]missCell, numBankSlots)
 	groups := bankGroups(batches, misses)
@@ -154,6 +177,102 @@ func profileTask(w *sched.Worker, spec workload.Spec, cfg Config, batches int, o
 			}
 		})
 	}
+}
+
+// chunkSweep is one input's in-flight (slot × chunk-range) sweep grid.
+// Every bank slot is its own chain over the shared pre-decoded columns;
+// a chain's ranges run strictly in order (the predictor state hands off
+// from range to range by living in the chain), so results are bit-
+// identical to a serial sweep, while distinct chains are independent
+// and steal-balanced across every core. Each range accumulates into its
+// own partial missCell; fold reduces the partials in (slot, range)
+// order once the last chain finishes.
+type chunkSweep struct {
+	res      *InputResult
+	classIdx []uint8
+	decoded  []decodedChunk
+	stride   int // chunks per range task
+	chains   []sweepChain
+	live     atomic.Int32 // chains not yet exhausted
+	out      **InputResult
+}
+
+// sweepChain is one bank slot's sequential march over the chunk axis.
+// next and partials are only touched by the chain's current task, and
+// the scheduler orders task (slot, r) before (slot, r+1) by
+// construction, so the chain needs no locking.
+type sweepChain struct {
+	slot     int
+	p        chunkSweeper
+	next     int        // next chunk index to sweep
+	partials []missCell // one per completed range, in range order
+}
+
+func newChunkSweep(stride int, res *InputResult, classIdx []uint8, decoded []decodedChunk, out **InputResult) *chunkSweep {
+	cs := &chunkSweep{
+		res:      res,
+		classIdx: classIdx,
+		decoded:  decoded,
+		stride:   stride,
+		chains:   make([]sweepChain, numBankSlots),
+		out:      out,
+	}
+	ranges := 0
+	if len(decoded) > 0 {
+		ranges = (len(decoded) + stride - 1) / stride
+		cs.live.Store(int32(numBankSlots))
+	}
+	for i := range cs.chains {
+		cs.chains[i] = sweepChain{slot: i, p: bankSlotPredictor(i), partials: make([]missCell, 0, ranges)}
+	}
+	return cs
+}
+
+// advance runs one (slot, chunk-range) task: sweep the chain's next
+// stride chunks, bank the range's partial, and either re-queue the
+// chain's continuation or — as the last chain to exhaust the trace —
+// fold and publish the input's result.
+func (cs *chunkSweep) advance(w *sched.Worker, ci int) {
+	ch := &cs.chains[ci]
+	end := ch.next + cs.stride
+	if end > len(cs.decoded) || end < 0 { // < 0: stride overflow near MaxInt
+		end = len(cs.decoded)
+	}
+	var cell missCell
+	var wrong [(trace.DefaultChunkEvents + 63) / 64]uint64
+	scratch := wrong[:]
+	for k := ch.next; k < end; k++ {
+		d := &cs.decoded[k]
+		if words := (d.n + 63) / 64; words > len(scratch) {
+			scratch = make([]uint64, words)
+		}
+		sweepDecodedChunk(ch.p, d, cs.classIdx[d.base:d.base+int64(d.n)], &cell, scratch)
+	}
+	ch.partials = append(ch.partials, cell)
+	ch.next = end
+	if end < len(cs.decoded) {
+		w.Submit(func(w *sched.Worker) { cs.advance(w, ci) })
+		return
+	}
+	if cs.live.Add(-1) == 0 {
+		cs.fold()
+		*cs.out = cs.res
+	}
+}
+
+// fold is the chunk-axis reduction: per-range partials sum into flat
+// per-slot cells in deterministic (slot, range) order — int64 addition,
+// so any order would be bit-identical anyway — and land in res.Miss via
+// foldMisses.
+func (cs *chunkSweep) fold() {
+	flat := make([]missCell, numBankSlots)
+	for i := range cs.chains {
+		ch := &cs.chains[i]
+		for r := range ch.partials {
+			addCell(&flat[ch.slot], &ch.partials[r])
+		}
+	}
+	foldMisses(cs.res, flat)
 }
 
 // runSuitePool is the legacy nested-pool engine: exactly

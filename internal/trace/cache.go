@@ -18,7 +18,10 @@ import (
 // directory configured, evicted (and freshly stored) traces are written
 // as BTR1 files and transparently re-loaded on the next Get — so a
 // memory-constrained run degrades to disk instead of regenerating, and
-// a later process pointed at the same directory starts warm.
+// a later process pointed at the same directory starts warm. Spill
+// filenames carry the workload-registry fingerprint the cache was built
+// with, so files left by a different workload generation are invisible
+// rather than silently wrong.
 
 // DefaultCacheBytes is the resident-column budget used by callers that
 // have no better number: 1 GiB, comfortably above a full Table 1 suite
@@ -43,7 +46,10 @@ type CacheKey struct {
 	ChunkEvents int
 }
 
-func (k CacheKey) normalised() CacheKey {
+// Normalised returns the key with defaults spelled out, the form the
+// cache indexes by; derived caches keyed the same way (sim.ProfileCache)
+// must normalise too so aliasing configs share entries.
+func (k CacheKey) Normalised() CacheKey {
 	if k.ChunkEvents <= 0 {
 		k.ChunkEvents = DefaultChunkEvents
 	}
@@ -68,13 +74,14 @@ type CacheStats struct {
 
 // Cache is safe for concurrent use.
 type Cache struct {
-	mu       sync.Mutex
-	maxBytes int64
-	dir      string
-	entries  map[CacheKey]*cacheEntry
-	bytes    int64
-	tick     int64
-	stats    CacheStats
+	mu          sync.Mutex
+	maxBytes    int64
+	dir         string
+	fingerprint uint64
+	entries     map[CacheKey]*cacheEntry
+	bytes       int64
+	tick        int64
+	stats       CacheStats
 }
 
 // cacheEntry is one keyed recording: resident (tr != nil), spilled
@@ -89,14 +96,21 @@ type cacheEntry struct {
 // (<= 0 means unbounded). A non-empty spillDir enables the BTR1 spill
 // mode: stored traces are written through to the directory (created if
 // missing), evictions keep their file, and Get probes the directory
-// for recordings left by earlier processes. Spill files are trusted to
-// match their key — point different workload versions at different
-// directories.
-func NewCache(maxBytes int64, spillDir string) *Cache {
+// for recordings left by earlier processes.
+//
+// fingerprint names the workload-registry generation the cache belongs
+// to (e.g. workload.RegistryFingerprint(): a hash of every spec's name,
+// target and seed). It is embedded in every spill filename, so a spill
+// directory left by a build with different workloads simply never
+// matches — stale directories self-invalidate instead of being trusted
+// to match their key. Pass 0 for a memory-only cache or when a single
+// fixed workload set owns the directory.
+func NewCache(maxBytes int64, spillDir string, fingerprint uint64) *Cache {
 	return &Cache{
-		maxBytes: maxBytes,
-		dir:      spillDir,
-		entries:  make(map[CacheKey]*cacheEntry),
+		maxBytes:    maxBytes,
+		dir:         spillDir,
+		fingerprint: fingerprint,
+		entries:     make(map[CacheKey]*cacheEntry),
 	}
 }
 
@@ -105,7 +119,7 @@ func NewCache(maxBytes int64, spillDir string) *Cache {
 // cache lock, so a reload (or a spill-dir probe) never stalls other
 // callers' in-memory traffic.
 func (c *Cache) Get(key CacheKey) (*ChunkedTrace, bool) {
-	key = key.normalised()
+	key = key.Normalised()
 	c.mu.Lock()
 	e := c.entries[key]
 	if e != nil {
@@ -198,7 +212,7 @@ func (c *Cache) adoptLocked(key CacheKey, tr *ChunkedTrace, path string) *Chunke
 // re-adopted so the next Get is served from memory (recordings are
 // deterministic, so the two are identical).
 func (c *Cache) Put(key CacheKey, tr *ChunkedTrace) error {
-	key = key.normalised()
+	key = key.Normalised()
 	c.mu.Lock()
 	if e := c.entries[key]; e != nil {
 		c.adoptLocked(key, tr, e.path)
@@ -297,11 +311,15 @@ func (c *Cache) evictLocked() {
 }
 
 // spillPath derives a deterministic file name from the key so separate
-// processes agree on where a recording lives.
+// processes agree on where a recording lives. The name is
+// "<registry fingerprint>-<key hash>.btr": the leading hex field is the
+// workload-registry fingerprint the cache was built with, so two builds
+// whose registries differ read and write disjoint file sets inside the
+// same -cachedir and a stale directory is ignored, not trusted.
 func (c *Cache) spillPath(key CacheKey) string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s|%x|%g|%d", key.Name, key.Fingerprint, key.Scale, key.ChunkEvents)
-	return filepath.Join(c.dir, fmt.Sprintf("%016x.btr", h.Sum64()))
+	return filepath.Join(c.dir, fmt.Sprintf("%016x-%016x.btr", c.fingerprint, h.Sum64()))
 }
 
 // writeSpill encodes the trace as a BTR1 file, via a temp file and

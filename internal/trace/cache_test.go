@@ -27,7 +27,7 @@ func collect(t *ChunkedTrace) []Event {
 }
 
 func TestCacheHitMissKeying(t *testing.T) {
-	c := NewCache(0, "")
+	c := NewCache(0, "", 0)
 	tr := recordSynthetic(1000, 0, 7)
 	key := CacheKey{Name: "gcc/genoutput.i", Scale: 0.5}
 	if _, ok := c.Get(key); ok {
@@ -65,7 +65,7 @@ func TestCacheHitMissKeying(t *testing.T) {
 // alias, and Scale <= 0 is canonicalised to 1 exactly as the workload
 // runner treats it.
 func TestCacheKeyFingerprintAndScaleNormalisation(t *testing.T) {
-	c := NewCache(0, "")
+	c := NewCache(0, "", 0)
 	tr := recordSynthetic(500, 0, 3)
 	if err := c.Put(CacheKey{Name: "x/in", Fingerprint: 1, Scale: 1}, tr); err != nil {
 		t.Fatal(err)
@@ -89,7 +89,7 @@ func TestCachePutSpillFailureStillCaches(t *testing.T) {
 	if err := os.WriteFile(dir, []byte("occupied"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	c := NewCache(0, dir) // spill writes into a path that is a file: they fail
+	c := NewCache(0, dir, 0) // spill writes into a path that is a file: they fail
 	tr := recordSynthetic(1000, 0, 21)
 	key := CacheKey{Name: "y", Scale: 1}
 	if err := c.Put(key, tr); err == nil {
@@ -105,7 +105,7 @@ func TestCacheEvictionUnderBudget(t *testing.T) {
 	a := recordSynthetic(4000, 0, 1)
 	b := recordSynthetic(4000, 0, 2)
 	// Budget fits one trace, not two.
-	c := NewCache(a.SizeBytes()+b.SizeBytes()/2, "")
+	c := NewCache(a.SizeBytes()+b.SizeBytes()/2, "", 0)
 	if err := c.Put(CacheKey{Name: "a", Scale: 1}, a); err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestCacheEvictionUnderBudget(t *testing.T) {
 func TestCacheLRUOrder(t *testing.T) {
 	a := recordSynthetic(4000, 0, 1)
 	b := recordSynthetic(4000, 0, 2)
-	c := NewCache(a.SizeBytes()+b.SizeBytes()+1, "")
+	c := NewCache(a.SizeBytes()+b.SizeBytes()+1, "", 0)
 	ka, kb := CacheKey{Name: "a", Scale: 1}, CacheKey{Name: "b", Scale: 1}
 	if err := c.Put(ka, a); err != nil {
 		t.Fatal(err)
@@ -159,7 +159,7 @@ func TestCacheSpillRoundTrip(t *testing.T) {
 	orig := recordSynthetic(5000, 100, 9) // odd chunk size, partial final chunk
 	key := CacheKey{Name: "vortex/vortex.lit", Scale: 0.1, ChunkEvents: 100}
 	// Budget below one trace: the entry spills and is dropped from memory.
-	c := NewCache(1, dir)
+	c := NewCache(1, dir, 0)
 	if err := c.Put(key, orig); err != nil {
 		t.Fatal(err)
 	}
@@ -190,11 +190,11 @@ func TestCacheCrossProcessProbe(t *testing.T) {
 	dir := t.TempDir()
 	orig := recordSynthetic(3000, 0, 11)
 	key := CacheKey{Name: "perl/primes.pl", Scale: 1}
-	first := NewCache(0, dir)
+	first := NewCache(0, dir, 0)
 	if err := first.Put(key, orig); err != nil {
 		t.Fatal(err)
 	}
-	second := NewCache(0, dir)
+	second := NewCache(0, dir, 0)
 	got, ok := second.Get(key)
 	if !ok {
 		t.Fatal("fresh cache over the same dir must find the spill file")
@@ -207,10 +207,55 @@ func TestCacheCrossProcessProbe(t *testing.T) {
 	}
 }
 
+// TestCacheFingerprintSelfInvalidates pins the stale-directory guard: a
+// cache built with a different workload-registry fingerprint neither
+// reads nor collides with another generation's spill files — the same
+// directory holds both generations side by side, each invisible to the
+// other.
+func TestCacheFingerprintSelfInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	key := CacheKey{Name: "gcc/genoutput.i", Scale: 1}
+	oldGen := recordSynthetic(2000, 0, 19)
+	first := NewCache(0, dir, 0xaaaa)
+	if err := first.Put(key, oldGen); err != nil {
+		t.Fatal(err)
+	}
+
+	// A build whose registry hashes differently must treat the dir as
+	// cold: the old generation's file never matches.
+	second := NewCache(0, dir, 0xbbbb)
+	if _, ok := second.Get(key); ok {
+		t.Fatal("stale-generation spill file must not be served")
+	}
+	newGen := recordSynthetic(2500, 0, 23)
+	if err := second.Put(key, newGen); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.btr"))
+	if err != nil || len(files) != 2 {
+		t.Fatalf("want both generations' spill files side by side, got %v (%v)", files, err)
+	}
+
+	// Each generation still round-trips through its own file.
+	for _, tc := range []struct {
+		fp   uint64
+		want *ChunkedTrace
+	}{{0xaaaa, oldGen}, {0xbbbb, newGen}} {
+		c := NewCache(0, dir, tc.fp)
+		got, ok := c.Get(key)
+		if !ok {
+			t.Fatalf("fingerprint %#x: own spill file must hit", tc.fp)
+		}
+		if !reflect.DeepEqual(collect(got), collect(tc.want)) {
+			t.Fatalf("fingerprint %#x: reloaded stream diverged", tc.fp)
+		}
+	}
+}
+
 func TestCacheCorruptSpillIsAMiss(t *testing.T) {
 	dir := t.TempDir()
 	key := CacheKey{Name: "x", Scale: 1}
-	c := NewCache(1, dir) // evict immediately so Get must reload
+	c := NewCache(1, dir, 0) // evict immediately so Get must reload
 	if err := c.Put(key, recordSynthetic(1000, 0, 5)); err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +280,7 @@ func TestCachePutReadoptsEvictedEntry(t *testing.T) {
 	dir := t.TempDir()
 	tr := recordSynthetic(4000, 0, 13)
 	key := CacheKey{Name: "x", Scale: 1}
-	c := NewCache(1, dir) // evicts immediately; spill file remains
+	c := NewCache(1, dir, 0) // evicts immediately; spill file remains
 	if err := c.Put(key, tr); err != nil {
 		t.Fatal(err)
 	}
@@ -254,12 +299,12 @@ func TestCachePutReadoptsEvictedEntry(t *testing.T) {
 
 func TestCacheFlush(t *testing.T) {
 	dir := t.TempDir()
-	c := NewCache(0, dir)
+	c := NewCache(0, dir, 0)
 	spilled := CacheKey{Name: "spilled", Scale: 1}
 	if err := c.Put(spilled, recordSynthetic(2000, 0, 17)); err != nil {
 		t.Fatal(err)
 	}
-	memOnly := NewCache(0, "")
+	memOnly := NewCache(0, "", 0)
 	if err := memOnly.Put(spilled, recordSynthetic(2000, 0, 17)); err != nil {
 		t.Fatal(err)
 	}

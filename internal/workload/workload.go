@@ -111,6 +111,24 @@ func (s Spec) Fingerprint() uint64 {
 	return h
 }
 
+// RegistryFingerprint hashes the entire workload registry — every
+// suite spec's identifying parameters (bench, input, target, seed, via
+// Spec.Fingerprint) — into one value naming this build's workload
+// generation. Trace caches embed it in spill filenames so a -cachedir
+// written by a build with different workloads self-invalidates (see
+// trace.NewCache).
+func RegistryFingerprint() uint64 {
+	h := uint64(1469598103934665603) // FNV-64 offset basis
+	for _, s := range Suite() {
+		fp := s.Fingerprint()
+		for i := 0; i < 8; i++ {
+			h ^= uint64(byte(fp >> (8 * i)))
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
 // Run executes the workload at the given scale, emitting branch events to
 // sink. Scale multiplies the spec's target count; scale <= 0 is treated
 // as 1.0, the registry's default sizing. Runs with equal (spec, scale)
