@@ -113,6 +113,26 @@ func BenchmarkSuiteSweepLegacyPool(b *testing.B) {
 	benchSweepSuite(b, SimConfig{Scale: 1.0, NoSched: true})
 }
 
+// BenchmarkSuiteSweepStreaming is the out-of-core pipeline on the same
+// input: pass 1 streams the recording to a spill file keeping at most
+// ~4 KiB of chunk columns resident (the recording is ~30 KiB, so the
+// run genuinely pages), and the sweep's decoded pool is capped below
+// the decoded trace. The gap to BenchmarkSuiteSweepScheduled is the
+// price of bounded memory — spill I/O plus re-decodes — on a trace
+// that would comfortably fit; paper-scale traces have no retained
+// alternative to compare against.
+func BenchmarkSuiteSweepStreaming(b *testing.B) {
+	benchSweepSuite(b, SimConfig{Scale: 1.0, MemBudget: 4 << 10, DecodedBudget: 128 << 10})
+}
+
+// BenchmarkSingleInputStreaming is the streaming counterpart of
+// BenchmarkSingleInputSaturation: the same ~650k-event input with the
+// recording bounded to ~64 KiB resident (vs ~850 KiB encoded) and a
+// 1 MiB decoded pool (~8 of its ~40 decoded chunks).
+func BenchmarkSingleInputStreaming(b *testing.B) {
+	benchSingleInput(b, SimConfig{Scale: singleInputScale, MemBudget: 64 << 10, DecodedBudget: 1 << 20})
+}
+
 // singleInputScale sizes the saturation benchmarks' one input at ~650k
 // events (≈40 recorded chunks): big enough that its sweep is a real
 // (34 slot × 40 chunk) grid with a visible tail, small enough for CI.

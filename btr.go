@@ -93,6 +93,10 @@ type (
 	InputResult = sim.InputResult
 	// InputError records one dropped suite input with its recovered cause.
 	InputError = sim.InputError
+	// MemStats reports how trace data moved through the bounded-memory
+	// pipeline (recording footprint, spill page-ins, decoded-pool
+	// traffic); see SimConfig.MemBudget and SimConfig.DecodedBudget.
+	MemStats = sim.MemStats
 	// PredictorKind selects PAs or GAs in sweep queries.
 	PredictorKind = sim.Kind
 
@@ -207,12 +211,20 @@ func NewTraceCache(maxBytes int64, spillDir string) *TraceCache {
 	return trace.NewCache(maxBytes, spillDir, workload.RegistryFingerprint())
 }
 
-// NewProfileCache builds a cache of classified pass-1 results. Assign it
-// to SimConfig.Profiles so repeated runs over the same (workload, scale,
-// chunk) skip the profiling replay entirely; experiment contexts built
-// via NewExperimentContext share one automatically.
+// NewProfileCache builds a cache of classified pass-1 results with the
+// default byte budget. Assign it to SimConfig.Profiles so repeated runs
+// over the same (workload, scale, chunk) skip the profiling replay
+// entirely; experiment contexts built via NewExperimentContext share
+// one automatically.
 func NewProfileCache() *ProfileCache {
 	return sim.NewProfileCache()
+}
+
+// NewProfileCacheBytes is NewProfileCache with an explicit budget for
+// the retained pass-1 artifacts (<= 0 means unbounded); entries past it
+// are evicted least-recently-used and recomputed on the next run.
+func NewProfileCacheBytes(maxBytes int64) *ProfileCache {
+	return sim.NewProfileCacheBytes(maxBytes)
 }
 
 // Predictor constructors (the paper's §3 configurations and the

@@ -32,6 +32,9 @@ type Benchmark struct {
 	// EventsPerOp is the pipeline's dynamic-branch throughput metric; 0
 	// for micro-benchmarks that do not report it.
 	EventsPerOp float64 `json:"events_per_op,omitempty"`
+	// EventsPerSec is the derived throughput (EventsPerOp normalised by
+	// wall time), the number paper-scale runtime projections divide by.
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
 	// Extra holds any other custom metrics, keyed by unit.
 	Extra map[string]float64 `json:"extra,omitempty"`
 }
@@ -126,6 +129,9 @@ func parseLine(line string) (Benchmark, bool) {
 			}
 			b.Extra[unit] = v
 		}
+	}
+	if b.NsPerOp > 0 && b.EventsPerOp > 0 {
+		b.EventsPerSec = b.EventsPerOp / (b.NsPerOp / 1e9)
 	}
 	return b, b.NsPerOp > 0
 }

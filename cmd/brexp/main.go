@@ -4,6 +4,7 @@
 //
 //	brexp [-scale 1.0] [-workers N] [-out results] [-run all|T1,F13,...]
 //	      [-sched=false] [-chunktasks N] [-cachedir dir]
+//	      [-membudget bytes] [-decodedbudget bytes]
 //
 // Each experiment is written to <out>/<id>.txt; -list shows the catalog.
 package main
@@ -27,6 +28,8 @@ func main() {
 	chunkTasks := flag.Int("chunktasks", 0, "chunks per (slot, chunk-range) sweep task (0 = default; negative = whole-trace slot batches, the pre-chunk-axis shape)")
 	noRecord := flag.Bool("norecord", false, "regenerate workloads per pass instead of record/replay (slower, lower memory)")
 	sched := flag.Bool("sched", true, "global work-stealing scheduler over (input, bank-batch) tasks; false = legacy nested pools")
+	memBudget := flag.Int64("membudget", 0, "stream each recording to a BTR1 spill file during pass 1, keeping at most about this many resident bytes per input; replays page the rest back in (0 = retain recordings whole)")
+	decodedBudget := flag.Int64("decodedbudget", 0, "byte budget for each input's decoded-chunk pool during the bank sweep; LRU columns past it are re-decoded on the next visit (0 = retain all decoded columns, negative = retain none)")
 	cachedir := flag.String("cachedir", "", "spill recorded traces to BTR1 files here and reuse them across runs (filenames carry the workload-registry fingerprint, so a dir written by older workloads self-invalidates)")
 	out := flag.String("out", "results", "output directory")
 	run := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
@@ -58,16 +61,24 @@ func main() {
 	}
 
 	cfg := btr.SimConfig{
-		Scale:       *scale,
-		Workers:     *workers,
-		BankWorkers: *bankWorkers,
-		ChunkEvents: *chunk,
-		ChunkTasks:  *chunkTasks,
-		NoRecord:    *noRecord,
-		NoSched:     !*sched,
+		Scale:         *scale,
+		Workers:       *workers,
+		BankWorkers:   *bankWorkers,
+		ChunkEvents:   *chunk,
+		ChunkTasks:    *chunkTasks,
+		NoRecord:      *noRecord,
+		NoSched:       !*sched,
+		MemBudget:     *memBudget,
+		DecodedBudget: *decodedBudget,
 	}
 	if *cachedir != "" {
-		cfg.Cache = btr.NewTraceCache(btr.DefaultTraceCacheBytes, *cachedir)
+		// Under a memory budget the cache's resident columns are bounded
+		// to it too; otherwise a full-resident cache would undo -membudget.
+		cacheBytes := int64(btr.DefaultTraceCacheBytes)
+		if *memBudget > 0 {
+			cacheBytes = *memBudget
+		}
+		cfg.Cache = btr.NewTraceCache(cacheBytes, *cachedir)
 	}
 	ctx := btr.NewExperimentContext(cfg)
 	start := time.Now()
@@ -99,8 +110,15 @@ func main() {
 	for _, d := range suite.Dropped {
 		fmt.Fprintf(os.Stderr, "brexp: dropped input %v\n", d)
 	}
+	if m := suite.Mem; m.RecordedBytes > 0 {
+		fmt.Printf("mem: recorded_bytes=%d resident_peak=%d page_ins=%d pool_hits=%d redecodes=%d pool_evicted=%d decoded_peak=%d\n",
+			m.RecordedBytes, m.ResidentPeak, m.PageIns, m.DecodedHits, m.DecodedRedecodes, m.DecodedEvicted, m.DecodedPeak)
+	}
 	if cfg.Cache != nil {
-		if s := cfg.Cache.Stats(); s.SpillFailures > 0 {
+		s := cfg.Cache.Stats()
+		fmt.Printf("trace cache: hits=%d misses=%d loads=%d spills=%d evicted=%d resident=%d/%dB\n",
+			s.Hits, s.Misses, s.Loads, s.Spills, s.Evicted, s.Resident, s.ResidentBytes)
+		if s.SpillFailures > 0 {
 			fmt.Fprintf(os.Stderr, "brexp: warning: %d trace spills failed; -cachedir %s is not persisting (memory reuse unaffected)\n",
 				s.SpillFailures, *cachedir)
 		}

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	brsim -bench vortex -input vortex.lit -pred pas -k 8 [-scale 0.1]
+//	      [-membudget bytes] [-memstats]
 //	brsim -trace foo.btr -pred gshare -k 12
 //
 // Predictors: pas, gas, gag, pag, gshare, bimodal, lasttime, taken,
@@ -29,16 +30,19 @@ func main() {
 	tracePath := flag.String("trace", "", "BTR1 trace file instead of a workload")
 	pred := flag.String("pred", "pas", "predictor kind")
 	k := flag.Int("k", 8, "history length")
+	memBudget := flag.Int64("membudget", 0, "stream the recording to a BTR1 spill file, keeping at most about this many resident bytes; replays page the rest back in (0 = retain the recording whole)")
 	cachedir := flag.String("cachedir", "", "reuse recorded workload traces as BTR1 files in this directory across invocations (filenames carry the workload-registry fingerprint, so a dir written by older workloads self-invalidates)")
+	memStats := flag.Bool("memstats", false, "report the recording's memory shape (encoded bytes, resident peak, page-ins) after the run")
 	flag.Parse()
 
-	// Workloads are recorded once into an in-memory chunked trace: the
-	// profile-guided hybrids replay it for their profiling pass and the
-	// measurement pass replays it again, so the generator runs once no
-	// matter how many passes the predictor needs. With -cachedir the
-	// recording persists as a BTR1 spill file, so repeated invocations
-	// skip the generator entirely.
-	var recorded *trace.ChunkedTrace
+	// Workloads are recorded once: the profile-guided hybrids replay the
+	// recording for their profiling pass and the measurement pass replays
+	// it again, so the generator runs once no matter how many passes the
+	// predictor needs. With -membudget the recording streams to a spill
+	// file with a bounded resident prefix instead of being retained
+	// whole; with -cachedir it persists as a BTR1 spill file, so repeated
+	// invocations skip the generator entirely.
+	var recorded *trace.Handle
 	if *tracePath == "" && *bench != "" && *input != "" {
 		spec, err := btr.FindWorkload(*bench, *input)
 		if err != nil {
@@ -49,19 +53,36 @@ func main() {
 		if *cachedir != "" {
 			// The registry-fingerprinted constructor: spill files from a
 			// stale workload generation are ignored, not trusted.
-			cache = btr.NewTraceCache(btr.DefaultTraceCacheBytes, *cachedir)
-			if rec, ok := cache.Get(key); ok {
-				recorded = rec
+			cacheBytes := int64(btr.DefaultTraceCacheBytes)
+			if *memBudget > 0 {
+				cacheBytes = *memBudget
 			}
+			cache = btr.NewTraceCache(cacheBytes, *cachedir)
+			if h, ok := cache.GetHandle(key); ok {
+				recorded = h
+			}
+		}
+		if recorded == nil && *memBudget > 0 {
+			path := ""
+			if cache != nil {
+				path = cache.SpillPathFor(key)
+			}
+			if sr, err := trace.NewStreamRecorder(path, 0, *memBudget); err == nil {
+				spec.Run(sr, *scale)
+				if h, err := sr.Seal(); err == nil {
+					recorded = h
+				}
+			}
+			// Any streaming failure falls through to the resident path.
 		}
 		if recorded == nil {
 			rec := trace.NewChunkRecorder(0)
 			spec.Run(rec, *scale)
-			recorded = rec.Trace()
-			if cache != nil {
-				if err := cache.Put(key, recorded); err != nil {
-					fmt.Fprintln(os.Stderr, "brsim: warning:", err)
-				}
+			recorded = trace.NewResidentHandle(rec.Trace())
+		}
+		if cache != nil {
+			if err := cache.PutHandle(key, recorded); err != nil {
+				fmt.Fprintln(os.Stderr, "brsim: warning:", err)
 			}
 		}
 	}
@@ -98,9 +119,13 @@ func main() {
 
 	fmt.Printf("predictor=%s events=%d misses=%d missrate=%.4f accuracy=%.2f%% state=%d bits\n",
 		p.Name(), res.Events, res.Misses, res.MissRate(), 100*(1-res.MissRate()), p.SizeBits())
+	if *memStats && recorded != nil {
+		fmt.Printf("mem: encoded_bytes=%d resident_peak=%d page_ins=%d spilled=%v\n",
+			recorded.EncodedBytes(), recorded.ResidentPeak(), recorded.PageIns(), recorded.Spilled())
+	}
 }
 
-func buildPredictor(kind string, k int, recorded *trace.ChunkedTrace) (btr.Predictor, error) {
+func buildPredictor(kind string, k int, recorded *trace.Handle) (btr.Predictor, error) {
 	switch kind {
 	case "pas":
 		return bpred.NewPAs(k), nil

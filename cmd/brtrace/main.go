@@ -4,12 +4,18 @@
 //
 //	brtrace -list                                    # list workloads
 //	brtrace -bench gcc -input expr.i -o expr.btr     # record a trace
+//	brtrace -bench gcc -input expr.i -o expr.btr \
+//	        -membudget 1048576                       # streamed, bounded memory
 //	brtrace -info expr.btr                           # summarise a trace
 //	brtrace -text expr.btr                           # dump as text
 //
 // Recording and -info also report the in-memory chunked format's stats
 // (chunks, events, encoded bytes, bytes/event) alongside the BTR1 file
-// codec, for quick trace audits.
+// codec, for quick trace audits. With -membudget the recording goes
+// through the out-of-core streaming recorder instead and the report
+// shows the memory shape a bounded-budget run has: peak resident chunk
+// bytes, spill page-ins, and the decoded pool's high-water mark from an
+// audit replay.
 package main
 
 import (
@@ -27,6 +33,7 @@ func main() {
 	input := flag.String("input", "", "input set name")
 	scale := flag.Float64("scale", 0.1, "workload scale")
 	out := flag.String("o", "", "output trace file (BTR1 binary)")
+	memBudget := flag.Int64("membudget", 0, "record through the streaming recorder with at most about this many resident bytes, then audit-replay the spill (0 = buffer in memory as before)")
 	info := flag.String("info", "", "summarise an existing trace file")
 	text := flag.String("text", "", "dump an existing trace file as text")
 	flag.Parse()
@@ -75,6 +82,35 @@ func main() {
 		if _, err := trace.WriteText(os.Stdout, r); err != nil {
 			fatal(err)
 		}
+	case *bench != "" && *input != "" && *out != "" && *memBudget > 0:
+		// Streamed recording: events go straight to the BTR1 file with a
+		// bounded resident prefix — the memory shape a paper-scale run
+		// has — then an audit replay pages every chunk back in through a
+		// budgeted decoded pool and reports the memory-shape counters.
+		spec, err := btr.FindWorkload(*bench, *input)
+		if err != nil {
+			fatal(err)
+		}
+		sr, err := trace.NewStreamRecorder(*out, 0, *memBudget)
+		if err != nil {
+			fatal(err)
+		}
+		n := spec.Run(sr, *scale)
+		h, err := sr.Seal()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d events to %s (streamed)\n", n, *out)
+		fmt.Printf("stream: chunks=%d encoded_bytes=%d resident_peak=%d\n",
+			h.Chunks(), h.EncodedBytes(), h.ResidentPeak())
+		pool := trace.NewDecodedPool(h, *memBudget)
+		for k := 0; k < h.Chunks(); k++ {
+			pool.Checkout(k)
+			pool.Release(k)
+		}
+		ps := pool.Stats()
+		fmt.Printf("replay: page_ins=%d decodes=%d decoded_high_water=%d\n",
+			h.PageIns(), ps.Decodes, ps.HighWater)
 	case *bench != "" && *input != "" && *out != "":
 		spec, err := btr.FindWorkload(*bench, *input)
 		if err != nil {

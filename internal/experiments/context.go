@@ -52,9 +52,20 @@ func sharedCache() (*trace.Cache, *sim.ProfileCache) {
 // NewContext builds a context over the full Table 1 suite. Unless the
 // config brings its own caches (or disables recording), recordings and
 // classified pass-1 results are shared with every other context in the
-// process via sharedCache.
+// process via sharedCache — except under a memory budget
+// (cfg.MemBudget > 0), where a cache-less config gets a private trace
+// cache bounded to that budget instead: the shared cache's default
+// 1 GiB of resident columns would defeat the bound the caller just
+// asked for, and the profile cache (whose attribution columns are
+// O(trace) too) is tightened to the same number.
 func NewContext(cfg sim.Config) *Context {
 	if !cfg.NoRecord {
+		if cfg.MemBudget > 0 && cfg.Cache == nil {
+			cfg.Cache = trace.NewCache(cfg.MemBudget, "", workload.RegistryFingerprint())
+			if cfg.Profiles == nil {
+				cfg.Profiles = sim.NewProfileCacheBytes(cfg.MemBudget)
+			}
+		}
 		traces, profiles := sharedCache()
 		if cfg.Cache == nil {
 			cfg.Cache = traces

@@ -110,6 +110,25 @@ type Config struct {
 	// published for later runs and other experiment contexts. Ignored
 	// under NoRecord.
 	Cache *trace.Cache
+	// MemBudget, when > 0, streams pass 1 through a bounded window
+	// instead of retaining the whole recording: events are written to a
+	// BTR1 spill file as they are generated (the trace cache's spill
+	// directory when one is configured, otherwise an anonymous temp
+	// file) and at most about MemBudget bytes of leading chunk columns
+	// stay resident; replays page the remainder back in sequentially.
+	// Peak recording memory becomes O(MemBudget), not O(trace), and
+	// results are bit-for-bit identical (TestStreamedMatrixMatchesRetained).
+	// 0 keeps recordings fully resident, the default. Ignored under
+	// NoRecord.
+	MemBudget int64
+	// DecodedBudget bounds the decoded-chunk pool the scheduled sweep
+	// checks chunks out of: 0 retains every decoded column for the
+	// duration of the input's sweep (the pre-streaming behaviour), > 0
+	// is a byte budget — checked-out chunks are pinned, LRU columns
+	// beyond the budget are dropped and re-decoded on the next visit —
+	// and < 0 caches nothing beyond the chunks currently checked out.
+	// Like MemBudget, the value is result-invisible.
+	DecodedBudget int64
 }
 
 // cacheKey is the recording's identity for Config.Cache and
@@ -226,10 +245,54 @@ type InputResult struct {
 	// last bin open (Figure 15). Bin 0 is unused.
 	HardDistances *stats.Histogram
 
-	// Recorded is the input's event stream as captured during pass 1;
-	// downstream analyses (ablations, confidence studies) replay it
-	// instead of re-running the generator. Nil when Config.NoRecord.
-	Recorded *trace.ChunkedTrace
+	// Recorded is the input's event stream as captured during pass 1 —
+	// a handle that may be memory-resident, spill-backed (under
+	// Config.MemBudget), or both; downstream analyses (ablations,
+	// confidence studies) replay it instead of re-running the
+	// generator. Nil when Config.NoRecord.
+	Recorded *trace.Handle
+
+	// Mem reports the input's memory-shape counters (recording
+	// footprint, page-ins, decoded-pool traffic). Zero under NoRecord.
+	Mem MemStats
+}
+
+// MemStats describes how an input's trace data moved through the
+// bounded-memory pipeline. Counters are cumulative over the input's
+// run; the peaks are high-water marks.
+type MemStats struct {
+	// RecordedBytes is the recording's full encoded footprint (what
+	// retaining it all would cost).
+	RecordedBytes int64
+	// ResidentPeak is the high-water mark of the recording's resident
+	// chunk columns (== RecordedBytes when fully retained).
+	ResidentPeak int64
+	// PageIns counts chunks re-read from the spill file.
+	PageIns int64
+	// DecodedHits / DecodedRedecodes / DecodedEvicted / DecodedPeak are
+	// the sweep's decoded-chunk pool counters (see
+	// trace.DecodedPoolStats); zero when the sweep ran without a pool
+	// (slot-only and pool engines).
+	DecodedHits      int64
+	DecodedRedecodes int64
+	DecodedEvicted   int64
+	DecodedPeak      int64
+}
+
+// Add accumulates other into m: counters sum, peaks take the max (the
+// suite-level peak is per-input, inputs being concurrent).
+func (m *MemStats) Add(other *MemStats) {
+	m.RecordedBytes += other.RecordedBytes
+	m.PageIns += other.PageIns
+	m.DecodedHits += other.DecodedHits
+	m.DecodedRedecodes += other.DecodedRedecodes
+	m.DecodedEvicted += other.DecodedEvicted
+	if other.ResidentPeak > m.ResidentPeak {
+		m.ResidentPeak = other.ResidentPeak
+	}
+	if other.DecodedPeak > m.DecodedPeak {
+		m.DecodedPeak = other.DecodedPeak
+	}
 }
 
 // Replay drives the input's event stream through sink: the recorded trace
@@ -260,7 +323,7 @@ func RunInput(spec workload.Spec, cfg Config) *InputResult {
 	if cfg.NoRecord {
 		return runInputRegenerate(spec, cfg)
 	}
-	res, classIdx, _ := profileStage(spec, cfg, false)
+	res, classIdx := profileStage(spec, cfg)
 
 	// Pass 2: shard the (kind, k) bank slots round-robin across workers.
 	// Each worker replays the trace chunk-major — one decode per chunk,
@@ -282,139 +345,138 @@ func RunInput(spec workload.Spec, cfg Config) *InputResult {
 	}
 	wg.Wait()
 	foldMisses(res, misses)
+	finalizeMem(res, nil)
 	return res
+}
+
+// finalizeMem snapshots the input's memory-shape counters off its
+// recording handle and (when the sweep used one) decoded pool.
+func finalizeMem(res *InputResult, pool *trace.DecodedPool) {
+	h := res.Recorded
+	if h == nil {
+		return
+	}
+	res.Mem.RecordedBytes = h.EncodedBytes()
+	res.Mem.ResidentPeak = h.ResidentPeak()
+	res.Mem.PageIns = h.PageIns()
+	if pool != nil {
+		s := pool.Stats()
+		res.Mem.DecodedHits = s.Hits
+		res.Mem.DecodedRedecodes = s.Redecodes
+		res.Mem.DecodedEvicted = s.Evicted
+		res.Mem.DecodedPeak = s.HighWater
+	}
 }
 
 // profileRecorded runs pass 1 — profile and record in one generator run
 // — consulting cfg.Cache first: on a hit the cached recording replays
 // into the profiler and the generator never runs. Either way the
-// returned trace is the input's exact event stream.
-func profileRecorded(spec workload.Spec, cfg Config) (*core.Profiler, *trace.ChunkedTrace) {
+// returned handle is the input's exact event stream. Under
+// cfg.MemBudget the recording streams straight to a spill file with a
+// bounded resident prefix instead of being retained whole.
+func profileRecorded(spec workload.Spec, cfg Config) (*core.Profiler, *trace.Handle) {
 	profiler := core.NewProfiler()
 	if cfg.Cache != nil {
-		if rec, ok := cfg.Cache.Get(cfg.cacheKey(spec)); ok {
-			rec.Replay(profiler)
-			return profiler, rec
+		if h, ok := cfg.Cache.GetHandle(cfg.cacheKey(spec)); ok {
+			h.Replay(profiler)
+			return profiler, h
 		}
+	}
+	if cfg.MemBudget > 0 {
+		if h, ok := streamRecord(spec, cfg, profiler); ok {
+			return profiler, h
+		}
+		// The spill file could not be created or sealed: fall back to the
+		// fully resident path with a fresh profiler (the failed attempt
+		// may have fed it a partial stream).
+		profiler = core.NewProfiler()
 	}
 	recorder := trace.NewChunkRecorder(cfg.ChunkEvents)
 	spec.Run(trace.Tee(profiler, recorder), cfg.Scale)
-	rec := recorder.Trace()
+	h := trace.NewResidentHandle(recorder.Trace())
 	if cfg.Cache != nil {
 		// A failed spill loses persistence only — the recording is
 		// still cached in memory — and is counted in the cache stats
 		// (CacheStats.SpillFailures) for the CLIs to report.
-		_ = cfg.Cache.Put(cfg.cacheKey(spec), rec)
+		_ = cfg.Cache.PutHandle(cfg.cacheKey(spec), h)
 	}
-	return profiler, rec
+	return profiler, h
 }
 
-// decodedChunk is one recorded chunk's decoded PC column, retained so
-// chunk-range sweep tasks index straight into it instead of re-decoding
-// the delta column per slot chain. pcs is a private copy; dirs aliases
-// the trace's immutable bitmap. base is the chunk's first event index,
-// the offset into the per-event class column.
-type decodedChunk struct {
-	pcs  []uint64
-	dirs []uint64
-	n    int
-	base int64
-}
-
-// decodeColumns decodes every chunk of a recorded trace into retained
-// columns — the sweep-side rebuild used when a profile-cache hit skips
-// the attribution replay that would otherwise have produced them.
-func decodeColumns(tr *trace.ChunkedTrace) []decodedChunk {
-	out := make([]decodedChunk, 0, tr.Chunks())
-	rep := tr.NewReplayer()
-	var base int64
-	for {
-		pcs, dirs, n, ok := rep.NextChunk()
-		if !ok {
-			return out
+// streamRecord is the bounded-window pass 1: the generator's stream is
+// teed into the profiler and a StreamRecorder writing BTR1 directly —
+// to the cache's spill path when one exists (so later processes probe
+// straight into it), else an anonymous temp file. ok is false when the
+// spill backing could not be set up; the caller falls back to
+// retaining.
+func streamRecord(spec workload.Spec, cfg Config, profiler *core.Profiler) (*trace.Handle, bool) {
+	path := ""
+	if cfg.Cache != nil {
+		path = cfg.Cache.SpillPathFor(cfg.cacheKey(spec))
+	}
+	sr, err := trace.NewStreamRecorder(path, cfg.ChunkEvents, cfg.MemBudget)
+	if err != nil {
+		return nil, false
+	}
+	sealed := false
+	defer func() {
+		if !sealed {
+			sr.Discard() // a panicking generator must not leak the temp file
 		}
-		cp := make([]uint64, n)
-		copy(cp, pcs)
-		out = append(out, decodedChunk{pcs: cp, dirs: dirs, n: n, base: base})
-		base += int64(n)
+	}()
+	spec.Run(trace.Tee(profiler, sr), cfg.Scale)
+	h, err := sr.Seal()
+	sealed = true
+	if err != nil {
+		return nil, false
 	}
+	if cfg.Cache != nil {
+		_ = cfg.Cache.PutHandle(cfg.cacheKey(spec), h)
+	}
+	return h, true
 }
 
-// profileStage is the schedulable first half of RunInput: pass 1 plus
-// the attribution pre-pass. It returns the result shell (Exec, classes,
-// distances and the recorded trace filled in; Miss still zero) and the
-// per-event class column the bank sweep attributes against. With
-// keepColumns the decoded PC columns produced along the way are retained
-// and returned, so the chunk-range sweep never decodes the trace again.
-//
-// cfg.Profiles is consulted first: on a hit the cached shell is copied
-// (Miss starts zero in the template, so the copy is sweep-ready), the
-// recording it was derived from comes back from cfg.Cache — the
-// recording's lifetime stays under the trace cache's LRU budget, not
-// pinned by profile entries — and no generator, profiler or attribution
-// work runs at all. If the recording was evicted without a spill path
-// the hit is unusable (the sweep needs the stream) and the stage falls
-// through to a full recompute.
-func profileStage(spec workload.Spec, cfg Config, keepColumns bool) (*InputResult, []uint8, []decodedChunk) {
-	if cfg.Profiles != nil && cfg.Cache != nil && !cfg.NoRecord {
-		if res, classIdx, ok := cfg.Profiles.get(cfg.cacheKey(spec), cfg.window()); ok {
-			if rec, ok := cfg.Cache.Get(cfg.cacheKey(spec)); ok {
-				res.Recorded = rec
-				var decoded []decodedChunk
-				if keepColumns {
-					decoded = decodeColumns(rec)
-				}
-				return res, classIdx, decoded
-			}
-		}
-	}
+// hardIdx is the 5/5 joint class ("hard" branches), flattened the way
+// classIdx stores classes.
+const hardIdx = 5*core.NumClasses + 5
+
+// passOne profiles, records and classifies one input: the result shell
+// with Exec, distances and the attribution column still empty — those
+// belong to the attribution pass (attributeSequential, or the
+// scheduler's parallel attribution grid).
+func passOne(spec workload.Spec, cfg Config) *InputResult {
 	profiler, recorded := profileRecorded(spec, cfg)
-	classes := core.Classify(profiler.Profiles())
-
-	res := &InputResult{
+	return &InputResult{
 		Spec:          spec,
 		Events:        profiler.Events(),
 		Sites:         profiler.Sites(),
 		Profiles:      profiler.Profiles(),
-		Classes:       classes,
+		Classes:       core.Classify(profiler.Profiles()),
 		HardDistances: stats.NewHistogram(cfg.window() + 1),
 		Recorded:      recorded,
 	}
+}
 
-	// Attribution pre-pass: one replay resolves each event's joint class,
-	// filling Exec and the Figure 15 distances and leaving a per-event
-	// class column so the bank workers index an array instead of hitting
-	// the class map once per slot per event. Workload PCs are
-	// base + site<<2 with dense site IDs, so when the PC range is compact
-	// the class map itself collapses into a direct-indexed table.
-	const hardIdx = 5*core.NumClasses + 5 // the 5/5 joint class, flattened
-	lookup := denseClasses(classes)
-	classIdx := make([]uint8, recorded.Events())
-	var decoded []decodedChunk
-	if keepColumns {
-		decoded = make([]decodedChunk, 0, recorded.Chunks())
-	}
+// attributeSequential is the attribution pre-pass: one replay resolves
+// each event's joint class, filling Exec and the Figure 15 distances
+// and the per-event class column so the bank workers index an array
+// instead of hitting the class map once per slot per event. Workload
+// PCs are base + site<<2 with dense site IDs, so when the PC range is
+// compact the class map itself collapses into a direct-indexed table.
+// classIdx must hold res.Recorded.Events() entries.
+func attributeSequential(res *InputResult, classIdx []uint8) {
+	lookup := denseClasses(res.Classes)
 	var pos, lastHard int64
 	sawHard := false
-	rep := recorded.NewReplayer()
+	rep := res.Recorded.ChunkReader()
 	for {
 		pcs, dirs, n, ok := rep.NextChunk()
 		if !ok {
 			break
 		}
-		if keepColumns {
-			cp := make([]uint64, n)
-			copy(cp, pcs)
-			decoded = append(decoded, decodedChunk{pcs: cp, dirs: dirs, n: n, base: pos})
-		}
+		_ = dirs
 		for i := 0; i < n; i++ {
-			var ci uint8
-			if lookup.dense != nil {
-				ci = lookup.dense[(pcs[i]-lookup.minPC)>>2]
-			} else {
-				jc := classes[pcs[i]]
-				ci = uint8(int(jc.Taken)*core.NumClasses + int(jc.Transition))
-			}
+			ci := lookup.classOf(pcs[i], res.Classes)
 			res.Exec[ci/core.NumClasses][ci%core.NumClasses]++
 			classIdx[pos] = ci
 			pos++
@@ -427,11 +489,53 @@ func profileStage(spec workload.Spec, cfg Config, keepColumns bool) (*InputResul
 			}
 		}
 	}
+}
 
+// profileStage is the non-scheduled first half of RunInput: pass 1
+// plus the sequential attribution pre-pass (the scheduler's
+// profileTask parallelises attribution along the chunk axis instead).
+// It returns the result shell (Exec, classes, distances and the
+// recording handle filled in; Miss still zero) and the per-event class
+// column the bank sweep attributes against.
+//
+// cfg.Profiles is consulted first: on a hit the cached shell is copied
+// (Miss starts zero in the template, so the copy is sweep-ready), the
+// recording it was derived from comes back from cfg.Cache — the
+// recording's lifetime stays under the trace cache's LRU budget, not
+// pinned by profile entries — and no generator, profiler or attribution
+// work runs at all. If the recording was evicted without a spill path
+// the hit is unusable (the sweep needs the stream) and the stage falls
+// through to a full recompute.
+func profileStage(spec workload.Spec, cfg Config) (*InputResult, []uint8) {
+	if res, classIdx, ok := profileCached(spec, cfg); ok {
+		return res, classIdx
+	}
+	res := passOne(spec, cfg)
+	classIdx := make([]uint8, res.Recorded.Events())
+	attributeSequential(res, classIdx)
 	if cfg.Profiles != nil && !cfg.NoRecord {
 		cfg.Profiles.put(cfg.cacheKey(spec), cfg.window(), res, classIdx)
 	}
-	return res, classIdx, decoded
+	return res, classIdx
+}
+
+// profileCached serves the profile-cache fast path shared by both
+// engines: a cached pass-1 shell plus the recording handle re-fetched
+// from the trace cache.
+func profileCached(spec workload.Spec, cfg Config) (*InputResult, []uint8, bool) {
+	if cfg.Profiles == nil || cfg.Cache == nil || cfg.NoRecord {
+		return nil, nil, false
+	}
+	res, classIdx, ok := cfg.Profiles.get(cfg.cacheKey(spec), cfg.window())
+	if !ok {
+		return nil, nil, false
+	}
+	h, ok := cfg.Cache.GetHandle(cfg.cacheKey(spec))
+	if !ok {
+		return nil, nil, false
+	}
+	res.Recorded = h
+	return res, classIdx, true
 }
 
 // missCell is one bank slot's flat class-attributed miss counters.
@@ -499,6 +603,16 @@ type classLookup struct {
 	minPC uint64
 }
 
+// classOf resolves one PC, falling back to the class map when the
+// dense table was not built.
+func (l *classLookup) classOf(pc uint64, classes core.ClassMap) uint8 {
+	if l.dense != nil {
+		return l.dense[(pc-l.minPC)>>2]
+	}
+	jc := classes[pc]
+	return uint8(int(jc.Taken)*core.NumClasses + int(jc.Transition))
+}
+
 // denseClasses flattens a class map into a direct-indexed table when its
 // PC range is compact (instrumented workloads always are: PCs are
 // base + site<<2 with small site IDs). A sparse map — e.g. a stored
@@ -551,11 +665,11 @@ type bankSlot struct {
 }
 
 // sweepSlots replays the recorded trace through a group of bank slots,
-// chunk-major: each chunk is decoded once, every slot's predictor batch-
-// processes the decoded columns via sweepDecodedChunk, attributing set
-// bits to the per-event joint classes in classIdx.
-func sweepSlots(slots []bankSlot, recorded *trace.ChunkedTrace, classIdx []uint8) {
-	rep := recorded.NewReplayer()
+// chunk-major: each chunk is decoded (or paged in) once, every slot's
+// predictor batch-processes the decoded columns via sweepDecodedChunk,
+// attributing set bits to the per-event joint classes in classIdx.
+func sweepSlots(slots []bankSlot, recorded *trace.Handle, classIdx []uint8) {
+	rep := recorded.ChunkReader()
 	var wrong []uint64
 	var base int64
 	for {
@@ -566,7 +680,7 @@ func sweepSlots(slots []bankSlot, recorded *trace.ChunkedTrace, classIdx []uint8
 		if words := (n + 63) / 64; len(wrong) < words {
 			wrong = make([]uint64, words)
 		}
-		d := decodedChunk{pcs: pcs, dirs: dirs, n: n, base: base}
+		d := trace.DecodedChunk{PCs: pcs, Dirs: dirs, N: n, Base: base}
 		cls := classIdx[base : base+int64(n)]
 		for _, s := range slots {
 			sweepDecodedChunk(s.p, &d, cls, s.miss, wrong)
@@ -586,12 +700,12 @@ func sweepSlots(slots []bankSlot, recorded *trace.ChunkedTrace, classIdx []uint8
 // skips attribution entirely, and otherwise the running count stops the
 // word walk as soon as the last miss has been attributed, bulk-skipping
 // the zero tail.
-func sweepDecodedChunk(p chunkSweeper, d *decodedChunk, cls []uint8, cell *missCell, wrong []uint64) {
-	words := (d.n + 63) / 64
+func sweepDecodedChunk(p chunkSweeper, d *trace.DecodedChunk, cls []uint8, cell *missCell, wrong []uint64) {
+	words := (d.N + 63) / 64
 	for w := range wrong[:words] {
 		wrong[w] = 0
 	}
-	p.SweepChunk(d.pcs, d.dirs, d.n, wrong)
+	p.SweepChunk(d.PCs, d.Dirs, d.N, wrong)
 	total := 0
 	for w := 0; w < words; w++ {
 		total += mathbits.OnesCount64(wrong[w])

@@ -59,6 +59,12 @@ type SuiteResult struct {
 	// HardByBench histograms Figure 15 distances per benchmark.
 	HardByBench map[string]*stats.Histogram
 
+	// Mem folds the per-input memory-shape counters (recording
+	// footprint, spill page-ins, decoded-pool traffic): counters sum
+	// across inputs, the peaks are the largest single input's (inputs
+	// run concurrently, so suite-wide peaks are not additive).
+	Mem MemStats
+
 	// Dropped records the inputs skipped during aggregation — workloads
 	// that failed to produce a result — each with its spec and the
 	// recovered cause, so a failed run is diagnosable.
@@ -114,40 +120,67 @@ func runSuiteScheduled(specs []workload.Spec, cfg Config) *SuiteResult {
 
 // profileTask runs one input's pass 1 and fans out its bank sweep as a
 // (slot × chunk-range) task grid (or whole-trace slot batches under
-// cfg.ChunkTasks < 0). A panicking workload is converted to a per-input
-// error (the result stays nil and is reported via SuiteResult.Dropped);
-// the suite run continues. The last sweep task to finish folds the
-// counters and publishes the result — Scheduler.Wait's barrier makes
-// the write visible to the aggregation.
+// cfg.ChunkTasks < 0). In the chunked engine the attribution pre-pass
+// is itself a parallel task grid (attribGrid) between pass 1 and the
+// sweep, and the sweep checks chunks out of a byte-budgeted decoded
+// pool instead of a fully retained column array. A panicking workload
+// is converted to a per-input error (the result stays nil and is
+// reported via SuiteResult.Dropped); the suite run continues. The last
+// sweep task to finish folds the counters and publishes the result —
+// Scheduler.Wait's barrier makes the write visible to the aggregation.
 func profileTask(w *sched.Worker, spec workload.Spec, cfg Config, workers int, out **InputResult, errOut *error) {
-	chunked := cfg.ChunkTasks >= 0
+	if cfg.ChunkTasks < 0 {
+		// Slot-only baseline: sequential attribution, whole-trace batches.
+		var res *InputResult
+		var classIdx []uint8
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					*errOut = fmt.Errorf("workload panicked: %v", r)
+				}
+			}()
+			res, classIdx = profileStage(spec, cfg)
+		}()
+		if res == nil {
+			return
+		}
+		slotOnlySweep(w, cfg, workers, res, classIdx, out)
+		return
+	}
+	if res, classIdx, ok := profileCached(spec, cfg); ok {
+		// Cached profile: no generator, no attribution — straight to sweep.
+		pool := trace.NewDecodedPool(res.Recorded, cfg.DecodedBudget)
+		startChunkSweep(w, cfg, res, classIdx, pool, out, errOut)
+		return
+	}
 	var res *InputResult
-	var classIdx []uint8
-	var decoded []decodedChunk
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
 				*errOut = fmt.Errorf("workload panicked: %v", r)
 			}
 		}()
-		res, classIdx, decoded = profileStage(spec, cfg, chunked)
+		res = passOne(spec, cfg)
 	}()
 	if res == nil {
 		return
 	}
-	if !chunked {
-		slotOnlySweep(w, cfg, workers, res, classIdx, out)
-		return
-	}
-	cs := newChunkSweep(cfg.chunkTasks(), res, classIdx, decoded, out)
+	newAttribGrid(cfg, spec, res, workers, out, errOut).launch(w)
+}
+
+// startChunkSweep fans an input's bank sweep out as numBankSlots chains
+// over the decoded-chunk pool. Chain heads go out oldest-first: the
+// submitting worker pops the last chain LIFO and rides it range by
+// range (hot predictor tables), while thieves peel whole un-started
+// chains FIFO.
+func startChunkSweep(w *sched.Worker, cfg Config, res *InputResult, classIdx []uint8, pool *trace.DecodedPool, out **InputResult, errOut *error) {
+	cs := newChunkSweep(cfg.chunkTasks(), res, classIdx, pool, out, errOut)
 	if cs.live.Load() == 0 {
 		// Empty recording: nothing to sweep, publish immediately.
+		finalizeMem(res, pool)
 		*out = res
 		return
 	}
-	// Chain heads go out oldest-first: the submitting worker pops the
-	// last chain LIFO and rides it range by range (hot predictor
-	// tables), while thieves peel whole un-started chains FIFO.
 	for i := range cs.chains {
 		i := i
 		w.Submit(func(w *sched.Worker) { cs.advance(w, i) })
@@ -173,6 +206,7 @@ func slotOnlySweep(w *sched.Worker, cfg Config, workers int, res *InputResult, c
 			sweepSlots(group, res.Recorded, classIdx)
 			if remaining.Add(-1) == 0 {
 				foldMisses(res, misses)
+				finalizeMem(res, nil)
 				*out = res
 			}
 		})
@@ -180,21 +214,26 @@ func slotOnlySweep(w *sched.Worker, cfg Config, workers int, res *InputResult, c
 }
 
 // chunkSweep is one input's in-flight (slot × chunk-range) sweep grid.
-// Every bank slot is its own chain over the shared pre-decoded columns;
-// a chain's ranges run strictly in order (the predictor state hands off
-// from range to range by living in the chain), so results are bit-
-// identical to a serial sweep, while distinct chains are independent
-// and steal-balanced across every core. Each range accumulates into its
-// own partial missCell; fold reduces the partials in (slot, range)
-// order once the last chain finishes.
+// Every bank slot is its own chain over the shared decoded-chunk pool
+// (Checkout decodes — or pages from the spill file — on miss, the
+// budget bounds what stays resident between visits); a chain's ranges
+// run strictly in order (the predictor state hands off from range to
+// range by living in the chain), so results are bit-identical to a
+// serial sweep, while distinct chains are independent and steal-
+// balanced across every core. Each range accumulates into its own
+// partial missCell; fold reduces the partials in (slot, range) order
+// once the last chain finishes.
 type chunkSweep struct {
 	res      *InputResult
 	classIdx []uint8
-	decoded  []decodedChunk
+	pool     *trace.DecodedPool
+	nchunks  int
 	stride   int // chunks per range task
 	chains   []sweepChain
 	live     atomic.Int32 // chains not yet exhausted
+	failed   atomic.Bool  // poison: a chain hit a paging failure
 	out      **InputResult
+	errOut   *error
 }
 
 // sweepChain is one bank slot's sequential march over the chunk axis.
@@ -208,18 +247,22 @@ type sweepChain struct {
 	partials []missCell // one per completed range, in range order
 }
 
-func newChunkSweep(stride int, res *InputResult, classIdx []uint8, decoded []decodedChunk, out **InputResult) *chunkSweep {
+func newChunkSweep(stride int, res *InputResult, classIdx []uint8, pool *trace.DecodedPool, out **InputResult, errOut *error) *chunkSweep {
+	nchunks := res.Recorded.Chunks()
 	cs := &chunkSweep{
 		res:      res,
 		classIdx: classIdx,
-		decoded:  decoded,
+		pool:     pool,
+		nchunks:  nchunks,
 		stride:   stride,
 		chains:   make([]sweepChain, numBankSlots),
 		out:      out,
+		errOut:   errOut,
 	}
-	ranges := 0
-	if len(decoded) > 0 {
-		ranges = (len(decoded) + stride - 1) / stride
+	// Capacity hint only; over-wide strides still append exactly one
+	// partial per completed range.
+	ranges := nchunks/stride + 1
+	if nchunks > 0 {
 		cs.live.Store(int32(numBankSlots))
 	}
 	for i := range cs.chains {
@@ -228,34 +271,50 @@ func newChunkSweep(stride int, res *InputResult, classIdx []uint8, decoded []dec
 	return cs
 }
 
-// advance runs one (slot, chunk-range) task: sweep the chain's next
-// stride chunks, bank the range's partial, and either re-queue the
-// chain's continuation or — as the last chain to exhaust the trace —
-// fold and publish the input's result.
+// advance runs one (slot, chunk-range) task: check the chain's next
+// stride chunks out of the pool, sweep them, bank the range's partial,
+// and either re-queue the chain's continuation or — as the last chain
+// to exhaust the trace — fold and publish the input's result. A panic
+// (a spill paging failure) poisons the grid: the cause is recorded
+// once, sibling chains bail out at their next range, live never
+// reaches zero, and the unpublished input is reported via
+// SuiteResult.Dropped.
 func (cs *chunkSweep) advance(w *sched.Worker, ci int) {
+	defer func() {
+		if r := recover(); r != nil {
+			if cs.failed.CompareAndSwap(false, true) {
+				*cs.errOut = fmt.Errorf("bank sweep failed: %v", r)
+			}
+		}
+	}()
+	if cs.failed.Load() {
+		return
+	}
 	ch := &cs.chains[ci]
 	end := ch.next + cs.stride
-	if end > len(cs.decoded) || end < 0 { // < 0: stride overflow near MaxInt
-		end = len(cs.decoded)
+	if end > cs.nchunks || end < 0 { // < 0: stride overflow near MaxInt
+		end = cs.nchunks
 	}
 	var cell missCell
 	var wrong [(trace.DefaultChunkEvents + 63) / 64]uint64
 	scratch := wrong[:]
 	for k := ch.next; k < end; k++ {
-		d := &cs.decoded[k]
-		if words := (d.n + 63) / 64; words > len(scratch) {
+		d := cs.pool.Checkout(k)
+		if words := (d.N + 63) / 64; words > len(scratch) {
 			scratch = make([]uint64, words)
 		}
-		sweepDecodedChunk(ch.p, d, cs.classIdx[d.base:d.base+int64(d.n)], &cell, scratch)
+		sweepDecodedChunk(ch.p, d, cs.classIdx[d.Base:d.Base+int64(d.N)], &cell, scratch)
+		cs.pool.Release(k)
 	}
 	ch.partials = append(ch.partials, cell)
 	ch.next = end
-	if end < len(cs.decoded) {
+	if end < cs.nchunks {
 		w.Submit(func(w *sched.Worker) { cs.advance(w, ci) })
 		return
 	}
 	if cs.live.Add(-1) == 0 {
 		cs.fold()
+		finalizeMem(cs.res, cs.pool)
 		*cs.out = cs.res
 	}
 }
@@ -349,6 +408,7 @@ func aggregate(results []*InputResult, specs []workload.Spec, errs []error, cfg 
 		suite.Inputs = append(suite.Inputs, r)
 		suite.Distribution.AddProfiles(r.Profiles)
 		suite.Exec.Add(&r.Exec)
+		suite.Mem.Add(&r.Mem)
 		for kind := Kind(0); kind < NumKinds; kind++ {
 			for k := 0; k < NumHistories; k++ {
 				suite.Miss[kind][k].Add(&r.Miss[kind][k])

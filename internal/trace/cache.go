@@ -3,7 +3,6 @@ package trace
 import (
 	"fmt"
 	"hash/fnv"
-	"os"
 	"path/filepath"
 	"sync"
 )
@@ -13,15 +12,17 @@ import (
 // and chunk granularity. Experiment contexts that agree on all three
 // share one recording instead of re-running the generator per context.
 //
-// The cache is size-bounded: once resident columns exceed the byte
-// budget, least-recently-used entries are evicted. With a spill
-// directory configured, evicted (and freshly stored) traces are written
-// as BTR1 files and transparently re-loaded on the next Get — so a
-// memory-constrained run degrades to disk instead of regenerating, and
-// a later process pointed at the same directory starts warm. Spill
-// filenames carry the workload-registry fingerprint the cache was built
-// with, so files left by a different workload generation are invisible
-// rather than silently wrong.
+// Entries are recording Handles, so the cache bounds bytes, not
+// recordings: eviction releases a spill-backed handle's resident
+// columns while the handle itself — and every replay already paging
+// through it — stays valid, re-reading chunks from its BTR1 file on
+// demand. With a spill directory configured, stored traces are written
+// through as BTR1 files and transparently re-loaded on the next Get —
+// so a memory-constrained run degrades to disk instead of
+// regenerating, and a later process pointed at the same directory
+// starts warm. Spill filenames carry the workload-registry fingerprint
+// the cache was built with, so files left by a different workload
+// generation are invisible rather than silently wrong.
 
 // DefaultCacheBytes is the resident-column budget used by callers that
 // have no better number: 1 GiB, comfortably above a full Table 1 suite
@@ -84,12 +85,13 @@ type Cache struct {
 	stats       CacheStats
 }
 
-// cacheEntry is one keyed recording: resident (tr != nil), spilled
-// (tr == nil, path != ""), or both (written through, still resident).
+// cacheEntry is one keyed recording handle. charged is the resident
+// byte count the budget was last billed for; it is re-synced whenever
+// the handle's residency changes under the cache's control.
 type cacheEntry struct {
-	tr   *ChunkedTrace
-	path string
-	used int64
+	h       *Handle
+	charged int64
+	used    int64
 }
 
 // NewCache builds a cache bounded to maxBytes of resident trace columns
@@ -114,35 +116,87 @@ func NewCache(maxBytes int64, spillDir string, fingerprint uint64) *Cache {
 	}
 }
 
-// Get returns the recording for key, re-reading a spill file if the
-// columns are no longer resident. All disk I/O happens outside the
-// cache lock, so a reload (or a spill-dir probe) never stalls other
-// callers' in-memory traffic.
-func (c *Cache) Get(key CacheKey) (*ChunkedTrace, bool) {
-	key = key.Normalised()
+// handleFor is the shared lookup core: an existing entry, else a
+// spill-directory probe (scanning the file into a cold handle, no
+// columns read). probed reports that a probe built the handle. Counts
+// nothing — the public wrappers own the stats.
+func (c *Cache) handleFor(key CacheKey) (h *Handle, probed, ok bool) {
 	c.mu.Lock()
-	e := c.entries[key]
-	if e != nil {
+	if e := c.entries[key]; e != nil {
 		c.tick++
 		e.used = c.tick
-		if tr := e.tr; tr != nil {
-			c.stats.Hits++
-			c.mu.Unlock()
-			return tr, true
-		}
-		path := e.path
+		h := e.h
 		c.mu.Unlock()
-		return c.loadSpill(key, e, path)
+		return h, false, true
 	}
 	dir := c.dir
 	c.mu.Unlock()
 	if dir == "" {
-		c.countMiss()
-		return nil, false
+		return nil, false, false
 	}
 	// Probe the spill dir: a previous process may have left the file;
 	// an open failure is simply a miss.
-	return c.loadSpill(key, nil, c.spillPath(key))
+	h, err := OpenSpillHandle(c.spillPath(key), key.ChunkEvents)
+	if err != nil {
+		return nil, false, false
+	}
+	c.mu.Lock()
+	h = c.adoptLocked(key, h)
+	c.mu.Unlock()
+	return h, true, true
+}
+
+// GetHandle returns the recording handle for key without materialising
+// its columns — the entry point for streaming replays, which page
+// through the handle within their own memory budget. The handle stays
+// valid across evictions (eviction only releases resident columns of
+// spill-backed handles).
+func (c *Cache) GetHandle(key CacheKey) (*Handle, bool) {
+	key = key.Normalised()
+	h, probed, ok := c.handleFor(key)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	if probed {
+		c.stats.Loads++ // the probe scanned the spill file
+	}
+	return h, true
+}
+
+// Get returns the recording for key as a fully resident trace,
+// re-reading a spill file if the columns are no longer in memory. All
+// disk I/O happens outside the cache lock, so a reload (or a spill-dir
+// probe) never stalls other callers' in-memory traffic.
+func (c *Cache) Get(key CacheKey) (*ChunkedTrace, bool) {
+	key = key.Normalised()
+	h, probed, ok := c.handleFor(key)
+	if !ok {
+		c.countMiss()
+		return nil, false
+	}
+	tr, paged, err := h.materialise()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		// The file is missing, vanished or corrupt: forget it and
+		// report a miss so the caller regenerates.
+		if e := c.entries[key]; e != nil && e.h == h {
+			c.bytes -= e.charged
+			delete(c.entries, key)
+		}
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	if probed || paged {
+		c.stats.Loads++
+	}
+	c.rechargeLocked(key, h)
+	return tr, true
 }
 
 func (c *Cache) countMiss() {
@@ -151,55 +205,36 @@ func (c *Cache) countMiss() {
 	c.mu.Unlock()
 }
 
-// loadSpill reads a spill file outside the lock and adopts the result
-// under it. e is the entry the caller saw (nil when probing the dir for
-// a key the cache has never seen). Concurrent loads of the same key may
-// each read the file; adoption is idempotent and the extra reads only
-// cost duplicate I/O on an already-rare path.
-func (c *Cache) loadSpill(key CacheKey, e *cacheEntry, path string) (*ChunkedTrace, bool) {
-	tr, err := readSpill(path, key.ChunkEvents)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err != nil {
-		// The file is missing, vanished or corrupt: forget it and
-		// report a miss so the caller regenerates.
-		if e != nil && c.entries[key] == e {
-			delete(c.entries, key)
-		}
-		c.stats.Misses++
-		return nil, false
+// rechargeLocked re-syncs the budget charge for key's entry after its
+// handle's residency changed (a materialise or re-adoption), evicting
+// if the growth pushed the cache past its budget.
+func (c *Cache) rechargeLocked(key CacheKey, h *Handle) {
+	e := c.entries[key]
+	if e == nil || e.h != h {
+		return
 	}
-	c.stats.Loads++
-	c.stats.Hits++
-	// May release the entry right back if it alone exceeds the budget;
-	// the caller's reference keeps the returned trace valid.
-	return c.adoptLocked(key, tr, path), true
+	now := h.ResidentBytes()
+	c.bytes += now - e.charged
+	e.charged = now
+	c.evictLocked()
 }
 
-// adoptLocked installs (or refreshes) the entry for key with resident
-// columns tr and spill path. If another goroutine adopted resident
-// columns first, theirs are returned so concurrent callers share one
-// copy.
-func (c *Cache) adoptLocked(key CacheKey, tr *ChunkedTrace, path string) *ChunkedTrace {
+// adoptLocked installs (or refreshes) the entry for key. If another
+// goroutine installed a handle first, theirs wins and is returned so
+// concurrent callers share one handle per recording.
+func (c *Cache) adoptLocked(key CacheKey, h *Handle) *Handle {
 	c.tick++
 	e := c.entries[key]
 	if e == nil {
-		e = &cacheEntry{}
+		e = &cacheEntry{h: h, charged: h.ResidentBytes()}
 		c.entries[key] = e
+		c.bytes += e.charged
+		e.used = c.tick
+		c.evictLocked()
+		return h
 	}
 	e.used = c.tick
-	if e.path == "" {
-		e.path = path
-	}
-	if e.tr == nil {
-		e.tr = tr
-		c.bytes += tr.SizeBytes()
-		c.evictLocked()
-	}
-	if e.tr != nil {
-		return e.tr
-	}
-	return tr
+	return e.h
 }
 
 // Put stores a recording under key. With a spill directory the trace is
@@ -212,10 +247,27 @@ func (c *Cache) adoptLocked(key CacheKey, tr *ChunkedTrace, path string) *Chunke
 // re-adopted so the next Get is served from memory (recordings are
 // deterministic, so the two are identical).
 func (c *Cache) Put(key CacheKey, tr *ChunkedTrace) error {
-	key = key.Normalised()
+	return c.putHandle(key.Normalised(), NewResidentHandle(tr), tr)
+}
+
+// PutHandle stores an already-built recording handle — e.g. a
+// StreamRecorder's spill-backed result — under key. No write-through
+// happens for handles that already carry a spill file.
+func (c *Cache) PutHandle(key CacheKey, h *Handle) error {
+	return c.putHandle(key.Normalised(), h, nil)
+}
+
+func (c *Cache) putHandle(key CacheKey, h *Handle, offered *ChunkedTrace) error {
 	c.mu.Lock()
 	if e := c.entries[key]; e != nil {
-		c.adoptLocked(key, tr, e.path)
+		// Refresh recency; re-adopt the offered columns if the entry's
+		// were evicted.
+		c.tick++
+		e.used = c.tick
+		if offered != nil {
+			e.h.adoptResident(offered)
+		}
+		c.rechargeLocked(key, e.h)
 		c.mu.Unlock()
 		return nil
 	}
@@ -224,25 +276,46 @@ func (c *Cache) Put(key CacheKey, tr *ChunkedTrace) error {
 
 	// Spill without the lock; the deterministic temp-and-rename write
 	// means concurrent Puts of the same recording cannot tear the file.
-	var path string
 	var spillErr error
-	if dir != "" {
-		path = c.spillPath(key)
-		if err := writeSpill(path, tr); err != nil {
-			path = ""
-			spillErr = fmt.Errorf("trace: spilling %s: %w", key.Name, err)
+	spilled := h.SpillPath() != "" // stream-recorded straight to a durable file
+	if dir != "" && !h.Spilled() {
+		if offered == nil {
+			// A handle without resident columns and without a spill file
+			// cannot exist (it would have no backing at all), so offered
+			// is only nil here for already-spilled handles.
+			offered, spillErr = h.Materialise()
+		}
+		if spillErr == nil {
+			path := c.spillPath(key)
+			if err := writeSpill(path, offered); err != nil {
+				spillErr = fmt.Errorf("trace: spilling %s: %w", key.Name, err)
+			} else {
+				h.attachSpill(path)
+				spilled = true
+			}
 		}
 	}
 
 	c.mu.Lock()
-	if path != "" {
+	if spilled {
 		c.stats.Spills++
 	} else if spillErr != nil {
 		c.stats.SpillFailures++
 	}
-	c.adoptLocked(key, tr, path)
+	c.adoptLocked(key, h)
 	c.mu.Unlock()
 	return spillErr
+}
+
+// SpillPathFor returns the deterministic spill-file path for key, or
+// "" when the cache has no spill directory. Streaming recorders write
+// there directly, so the recording lands exactly where a later
+// process's Get probe looks.
+func (c *Cache) SpillPathFor(key CacheKey) string {
+	if c.dir == "" {
+		return ""
+	}
+	return c.spillPath(key.Normalised())
 }
 
 // Flush releases every resident trace column (spill files are kept), so
@@ -252,15 +325,25 @@ func (c *Cache) Flush() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for key, e := range c.entries {
-		if e.tr != nil {
-			c.bytes -= e.tr.SizeBytes()
-			e.tr = nil
+		c.releaseLocked(key, e)
+	}
+}
+
+// releaseLocked evicts one entry's resident columns: spill-backed
+// handles stay (and reload on demand), memory-only entries are dropped
+// entirely — without a file the columns were the recording.
+func (c *Cache) releaseLocked(key CacheKey, e *cacheEntry) {
+	if e.h.Spilled() {
+		if freed := e.h.Release(); freed > 0 || e.charged > 0 {
+			c.bytes -= e.charged
+			e.charged = 0
 			c.stats.Evicted++
 		}
-		if e.path == "" {
-			delete(c.entries, key)
-		}
+		return
 	}
+	c.bytes -= e.charged
+	delete(c.entries, key)
+	c.stats.Evicted++
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -270,7 +353,7 @@ func (c *Cache) Stats() CacheStats {
 	s := c.stats
 	s.ResidentBytes = c.bytes
 	for _, e := range c.entries {
-		if e.tr != nil {
+		if e.charged > 0 {
 			s.Resident++
 		}
 	}
@@ -278,11 +361,12 @@ func (c *Cache) Stats() CacheStats {
 }
 
 // evictLocked releases least-recently-used resident columns until the
-// budget is met. Traces are immutable and callers keep their own
+// budget is met. Recordings are immutable and callers keep their own
 // references, so even a just-stored or just-returned entry may be
 // released: the caller's pointer stays valid, only the cache forgets.
-// Spilled entries keep their file and reload on demand; without a spill
-// path the columns are simply dropped and the next Get misses.
+// Spilled entries keep their handle (and file) and page back on
+// demand; without a spill path the entry is dropped and the next Get
+// misses.
 func (c *Cache) evictLocked() {
 	if c.maxBytes <= 0 {
 		return
@@ -291,7 +375,7 @@ func (c *Cache) evictLocked() {
 		var victim *cacheEntry
 		var victimKey CacheKey
 		for k, e := range c.entries {
-			if e.tr == nil {
+			if e.charged == 0 {
 				continue
 			}
 			if victim == nil || e.used < victim.used {
@@ -301,12 +385,7 @@ func (c *Cache) evictLocked() {
 		if victim == nil {
 			return
 		}
-		c.bytes -= victim.tr.SizeBytes()
-		victim.tr = nil
-		c.stats.Evicted++
-		if victim.path == "" {
-			delete(c.entries, victimKey)
-		}
+		c.releaseLocked(victimKey, victim)
 	}
 }
 
@@ -320,54 +399,4 @@ func (c *Cache) spillPath(key CacheKey) string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s|%x|%g|%d", key.Name, key.Fingerprint, key.Scale, key.ChunkEvents)
 	return filepath.Join(c.dir, fmt.Sprintf("%016x-%016x.btr", c.fingerprint, h.Sum64()))
-}
-
-// writeSpill encodes the trace as a BTR1 file, via a temp file and
-// rename so concurrent writers of the same deterministic recording
-// cannot leave a torn file.
-func writeSpill(path string, tr *ChunkedTrace) error {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return err
-	}
-	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	w, err := NewWriter(f)
-	if err == nil {
-		tr.Replay(w)
-		err = w.Close()
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		os.Remove(f.Name())
-		return err
-	}
-	if err := os.Rename(f.Name(), path); err != nil {
-		os.Remove(f.Name())
-		return err
-	}
-	return nil
-}
-
-// readSpill decodes a BTR1 spill file back into a chunked trace at the
-// key's granularity; the (pc, taken) stream round-trips exactly, so the
-// reloaded trace replays bit-identically to the original recording.
-func readSpill(path string, chunkEvents int) (*ChunkedTrace, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	r, err := NewReader(f)
-	if err != nil {
-		return nil, err
-	}
-	rec := NewChunkRecorder(chunkEvents)
-	if _, err := Copy(rec, r); err != nil {
-		return nil, err
-	}
-	return rec.Trace(), nil
 }

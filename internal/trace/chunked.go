@@ -227,6 +227,14 @@ func (r *Replayer) NextChunk() (pcs []uint64, dirs []uint64, n int, ok bool) {
 	}
 	c := &r.t.chunks[r.ci]
 	r.ci++
+	c.decodeInto(r.pcs)
+	return r.pcs[:c.n], c.dirs, c.n, true
+}
+
+// decodeInto expands the chunk's delta column into pcs, which must hold
+// at least c.n entries. Chunks are immutable, so concurrent decodes into
+// distinct buffers are safe.
+func (c *chunk) decodeInto(pcs []uint64) {
 	pc := c.startPC
 	off := 0
 	for i := 0; i < c.n; i++ {
@@ -236,9 +244,8 @@ func (r *Replayer) NextChunk() (pcs []uint64, dirs []uint64, n int, ok bool) {
 		}
 		off += w
 		pc += uint64(unzigzag(word))
-		r.pcs[i] = pc
+		pcs[i] = pc
 	}
-	return r.pcs[:c.n], c.dirs, c.n, true
 }
 
 // Reset rewinds the replayer to the first chunk.
@@ -264,7 +271,7 @@ func (t *ChunkedTrace) Source() Source {
 }
 
 type chunkSource struct {
-	r    *Replayer
+	r    ChunkReader
 	pcs  []uint64
 	dirs []uint64
 	n    int

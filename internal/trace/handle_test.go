@@ -1,0 +1,227 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// syntheticEvents generates the same deterministic stream as
+// recordSynthetic, as an event slice.
+func syntheticEvents(n int, seed uint64) []Event {
+	out := make([]Event, 0, n)
+	r := seed | 1
+	for i := 0; i < n; i++ {
+		r ^= r << 13
+		r ^= r >> 7
+		r ^= r << 17
+		out = append(out, Event{PC: 0x400000 + (r%512)*4, Taken: r&2 != 0})
+	}
+	return out
+}
+
+func replayHandle(h *Handle) []Event {
+	var rec Recorder
+	h.Replay(&rec)
+	return rec.Events
+}
+
+// chunkOf decodes chunk k of a fully resident trace, the reference the
+// spill pager must match.
+func chunkOf(tr *ChunkedTrace, k int) DecodedChunk {
+	rep := tr.NewReplayer()
+	var base int64
+	for i := 0; ; i++ {
+		pcs, dirs, n, ok := rep.NextChunk()
+		if !ok {
+			panic("chunk out of range")
+		}
+		if i == k {
+			cp := make([]uint64, n)
+			copy(cp, pcs)
+			return DecodedChunk{PCs: cp, Dirs: dirs, N: n, Base: base}
+		}
+		base += int64(n)
+	}
+}
+
+// TestStreamRecorderRoundTrip pins the out-of-core recording path: a
+// stream recorded straight to a spill file replays bit-identically,
+// pages chunks in random order correctly, and bounds its resident
+// prefix — across chunk sizes that do and do not align with the BTR1
+// 8-event groups (chunk boundaries mid-group exercise the skip logic).
+func TestStreamRecorderRoundTrip(t *testing.T) {
+	const n = 5000
+	events := syntheticEvents(n, 42)
+	for _, chunkEvents := range []int{7, 100, 1024} {
+		for _, budget := range []int64{0, 1500, 1 << 30} {
+			sr, err := NewStreamRecorder("", chunkEvents, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ev := range events {
+				sr.Branch(ev.PC, ev.Taken)
+			}
+			h, err := sr.Seal()
+			if err != nil {
+				t.Fatalf("chunk=%d budget=%d: %v", chunkEvents, budget, err)
+			}
+			if h.Events() != n {
+				t.Fatalf("chunk=%d: events %d != %d", chunkEvents, h.Events(), n)
+			}
+			wantChunks := (n + chunkEvents - 1) / chunkEvents
+			if h.Chunks() != wantChunks {
+				t.Fatalf("chunk=%d: chunks %d != %d", chunkEvents, h.Chunks(), wantChunks)
+			}
+			if got := replayHandle(h); !reflect.DeepEqual(got, events) {
+				t.Fatalf("chunk=%d budget=%d: streamed replay diverged", chunkEvents, budget)
+			}
+			if budget == 1500 && h.ResidentPeak() >= h.EncodedBytes() {
+				t.Fatalf("chunk=%d: bounded recording kept everything resident (peak %d, encoded %d)",
+					chunkEvents, h.ResidentPeak(), h.EncodedBytes())
+			}
+			if budget == 0 && h.PageIns() == 0 {
+				t.Fatalf("chunk=%d: zero-budget replay should have paged from disk", chunkEvents)
+			}
+
+			// Random-order page-ins must match the in-memory decode.
+			ref := recordSynthetic(n, chunkEvents, 42)
+			for _, k := range []int{wantChunks - 1, 0, wantChunks / 2, 1} {
+				want := chunkOf(ref, k)
+				got, err := h.DecodeChunk(k)
+				if err != nil {
+					t.Fatalf("chunk=%d budget=%d: DecodeChunk(%d): %v", chunkEvents, budget, k, err)
+				}
+				if got.N != want.N || got.Base != want.Base ||
+					!reflect.DeepEqual(got.PCs, want.PCs) || !reflect.DeepEqual(got.Dirs, want.Dirs) {
+					t.Fatalf("chunk=%d budget=%d: DecodeChunk(%d) diverged", chunkEvents, budget, k)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamRecorderNamedPath pins the durable mode: the recording
+// lands at the requested path as a valid BTR1 file a fresh handle (and
+// a plain reader) can open.
+func TestStreamRecorderNamedPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "rec.btr")
+	events := syntheticEvents(3000, 7)
+	sr, err := NewStreamRecorder(path, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		sr.Branch(ev.PC, ev.Taken)
+	}
+	h, err := sr.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SpillPath() != path {
+		t.Fatalf("SpillPath %q != %q", h.SpillPath(), path)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("sealed file missing: %v", err)
+	}
+	reopened, err := OpenSpillHandle(path, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := replayHandle(reopened); !reflect.DeepEqual(got, events) {
+		t.Fatal("reopened spill replay diverged")
+	}
+	tr, err := reopened.Materialise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(collect(tr), events) {
+		t.Fatal("materialised trace diverged")
+	}
+}
+
+// TestStreamRecorderEmpty pins the zero-event edge: sealing an empty
+// stream yields a valid empty handle.
+func TestStreamRecorderEmpty(t *testing.T) {
+	sr, err := NewStreamRecorder("", 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sr.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Events() != 0 || h.Chunks() != 0 {
+		t.Fatalf("empty handle: events=%d chunks=%d", h.Events(), h.Chunks())
+	}
+	if got := replayHandle(h); len(got) != 0 {
+		t.Fatalf("empty replay yielded %d events", len(got))
+	}
+}
+
+// TestHandleReleaseAndRepage pins eviction-while-reading: dropping a
+// spill-backed handle's resident columns mid-replay must not change
+// the stream, and later reads page back in.
+func TestHandleReleaseAndRepage(t *testing.T) {
+	events := syntheticEvents(4000, 99)
+	sr, err := NewStreamRecorder("", 128, 1<<30) // everything resident, spill on disk
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		sr.Branch(ev.PC, ev.Taken)
+	}
+	h, err := sr.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := h.ChunkReader()
+	r.NextChunk() // resident prefix snapshot in hand
+	if freed := h.Release(); freed == 0 {
+		t.Fatal("release of a resident spill-backed handle must free bytes")
+	}
+	if h.ResidentBytes() != 0 {
+		t.Fatal("columns still resident after Release")
+	}
+	var rec Recorder
+	// The in-flight reader keeps its snapshot; a fresh replay pages in.
+	for {
+		pcs, dirs, n, ok := r.NextChunk()
+		if !ok {
+			break
+		}
+		_ = pcs
+		_ = dirs
+		_ = n
+	}
+	h.Replay(&rec)
+	if !reflect.DeepEqual(rec.Events, events) {
+		t.Fatal("post-release replay diverged")
+	}
+	if h.PageIns() == 0 {
+		t.Fatal("post-release replay should have paged from disk")
+	}
+}
+
+// TestResidentHandle pins the zero-cost wrap of an in-memory trace.
+func TestResidentHandle(t *testing.T) {
+	tr := recordSynthetic(2500, 100, 3)
+	h := NewResidentHandle(tr)
+	if h.Spilled() {
+		t.Fatal("resident handle reports spilled")
+	}
+	if h.Release() != 0 {
+		t.Fatal("memory-only handle must not release its only copy")
+	}
+	got, err := h.Materialise()
+	if err != nil || got != tr {
+		t.Fatalf("Materialise must return the wrapped trace (err %v)", err)
+	}
+	if !reflect.DeepEqual(replayHandle(h), collect(tr)) {
+		t.Fatal("handle replay diverged from trace replay")
+	}
+	if h.EncodedBytes() != tr.SizeBytes() {
+		t.Fatalf("EncodedBytes %d != SizeBytes %d", h.EncodedBytes(), tr.SizeBytes())
+	}
+}

@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DecodedPool is a byte-budgeted cache of decoded chunk columns over
+// one recording Handle. Sweep tasks check chunks out (decoding on
+// miss, possibly paging from the spill file) and release them when the
+// range is done; the pool retains released columns up to its budget so
+// other tasks visiting the same chunk reuse the decode, and evicts
+// least-recently-used columns past it — trading re-decode work for a
+// bounded decoded footprint, which is what lets a (slot × chunk-range)
+// sweep over a paper-scale recording run in fixed memory.
+//
+// Budget semantics:
+//
+//	0   retain every decoded chunk for the pool's lifetime (the
+//	    pre-streaming behaviour: decode once, keep all columns);
+//	> 0 byte budget; checked-out chunks are pinned and may overshoot
+//	    it (forward progress beats the bound), unpinned LRU columns
+//	    are evicted beyond it;
+//	< 0 retain nothing: columns drop at last release, every revisit
+//	    re-decodes.
+//
+// A DecodedPool is safe for concurrent use. Checked-out chunks are
+// immutable; a chunk stays valid until its matching Release, even if
+// the pool evicts it for other callers in between.
+type DecodedPool struct {
+	h      *Handle
+	budget int64
+
+	mu    sync.Mutex
+	slots []poolSlot
+	// lruHead/lruTail link the unpinned resident slots oldest-first,
+	// so eviction is O(1) per victim regardless of chunk count.
+	lruHead, lruTail int
+	bytes            int64 // resident decoded bytes (pinned + cached)
+	stats            DecodedPoolStats
+	highWater        int64
+}
+
+// poolSlot tracks one chunk's pool state. prev/next are LRU links
+// (chunk indices, -1 = none), valid only while linked.
+type poolSlot struct {
+	d          *DecodedChunk
+	refs       int32
+	size       int64
+	prev, next int
+	linked     bool
+	decoded    bool // decoded at least once (for the re-decode counter)
+}
+
+// DecodedPoolStats counts pool traffic. HighWater is the peak resident
+// decoded bytes; Redecodes counts decodes beyond each chunk's first —
+// the work the budget trades memory for.
+type DecodedPoolStats struct {
+	Hits      int64
+	Decodes   int64
+	Redecodes int64
+	Evicted   int64
+	HighWater int64
+}
+
+// NewDecodedPool builds a pool over h with the given byte budget.
+func NewDecodedPool(h *Handle, budget int64) *DecodedPool {
+	return &DecodedPool{h: h, budget: budget, slots: make([]poolSlot, h.Chunks()), lruHead: -1, lruTail: -1}
+}
+
+// Checkout returns chunk k's decoded columns, pinned until the
+// matching Release. Decode (and any spill page-in) happens outside the
+// pool lock; concurrent first-touches of one chunk may decode it twice,
+// with one copy dropped — correctness is unaffected, recordings are
+// immutable. Paging errors panic with context, like Handle replays.
+func (p *DecodedPool) Checkout(k int) *DecodedChunk {
+	p.mu.Lock()
+	s := &p.slots[k]
+	if s.d != nil {
+		if s.linked {
+			p.unlinkLocked(k)
+		}
+		s.refs++
+		p.stats.Hits++
+		d := s.d
+		p.mu.Unlock()
+		return d
+	}
+	p.mu.Unlock()
+
+	d, err := p.h.DecodeChunk(k)
+	if err != nil {
+		panic(fmt.Sprintf("trace: decoding chunk %d: %v", k, err))
+	}
+	size := d.SizeBytes()
+
+	p.mu.Lock()
+	s = &p.slots[k]
+	p.stats.Decodes++
+	if s.decoded {
+		p.stats.Redecodes++
+	}
+	s.decoded = true
+	if s.d == nil {
+		dc := d
+		s.d = &dc
+		s.size = size
+		p.bytes += size
+		if p.bytes > p.highWater {
+			p.highWater = p.bytes
+		}
+	} else if s.linked {
+		// Another goroutine installed (and released) it while we decoded.
+		p.unlinkLocked(k)
+	}
+	s.refs++
+	out := s.d
+	p.mu.Unlock()
+	return out
+}
+
+// Release unpins chunk k. With a negative budget the columns drop on
+// the last release; with a positive one the chunk joins the LRU list
+// and any excess over the budget is evicted oldest-first.
+func (p *DecodedPool) Release(k int) {
+	p.mu.Lock()
+	s := &p.slots[k]
+	if s.refs <= 0 {
+		p.mu.Unlock()
+		panic(fmt.Sprintf("trace: releasing chunk %d that is not checked out", k))
+	}
+	s.refs--
+	if s.refs == 0 && s.d != nil {
+		switch {
+		case p.budget < 0:
+			p.dropLocked(s)
+		case p.budget > 0:
+			p.linkLocked(k)
+			for p.bytes > p.budget && p.lruHead >= 0 {
+				victim := p.lruHead
+				p.unlinkLocked(victim)
+				p.dropLocked(&p.slots[victim])
+			}
+		}
+	}
+	p.mu.Unlock()
+}
+
+func (p *DecodedPool) dropLocked(s *poolSlot) {
+	p.bytes -= s.size
+	s.d = nil
+	s.size = 0
+	p.stats.Evicted++
+}
+
+// linkLocked appends chunk k at the MRU tail of the unpinned list.
+func (p *DecodedPool) linkLocked(k int) {
+	s := &p.slots[k]
+	s.linked = true
+	s.prev, s.next = p.lruTail, -1
+	if p.lruTail >= 0 {
+		p.slots[p.lruTail].next = k
+	} else {
+		p.lruHead = k
+	}
+	p.lruTail = k
+}
+
+// unlinkLocked removes chunk k from the unpinned list.
+func (p *DecodedPool) unlinkLocked(k int) {
+	s := &p.slots[k]
+	if s.prev >= 0 {
+		p.slots[s.prev].next = s.next
+	} else {
+		p.lruHead = s.next
+	}
+	if s.next >= 0 {
+		p.slots[s.next].prev = s.prev
+	} else {
+		p.lruTail = s.prev
+	}
+	s.linked = false
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *DecodedPool) Stats() DecodedPoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.HighWater = p.highWater
+	return s
+}

@@ -1,0 +1,435 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Spill-file machinery for out-of-core recordings: BTR1 files double as
+// the paging store behind a Handle. The format is self-delimiting and
+// deltas chain across its 8-event groups, so random access needs a
+// chunk index (chunkPos) — one sequential scan per file — after which
+// any chunk decodes from a single bounded ReadAt.
+
+// writeSpill encodes the trace as a BTR1 file, via a temp file and
+// rename so concurrent writers of the same deterministic recording
+// cannot leave a torn file.
+func writeSpill(path string, tr *ChunkedTrace) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	w, err := NewWriter(f)
+	if err == nil {
+		tr.Replay(w)
+		err = w.Close()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return nil
+}
+
+// readSpill decodes a BTR1 spill file back into a chunked trace at the
+// key's granularity; the (pc, taken) stream round-trips exactly, so the
+// reloaded trace replays bit-identically to the original recording.
+func readSpill(path string, chunkEvents int) (*ChunkedTrace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return readSpillFrom(f, chunkEvents)
+}
+
+// readSpillFrom is readSpill over an arbitrary reader (e.g. a section
+// of an already-open spill file).
+func readSpillFrom(r io.Reader, chunkEvents int) (*ChunkedTrace, error) {
+	br, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	rec := NewChunkRecorder(chunkEvents)
+	if _, err := Copy(rec, br); err != nil {
+		return nil, err
+	}
+	return rec.Trace(), nil
+}
+
+// countingReader tracks the byte offset of a buffered reader, so the
+// spill scanner can record exact group positions.
+type countingReader struct {
+	br  *bufio.Reader
+	off int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.br.Read(p)
+	c.off += int64(n)
+	return n, err
+}
+
+func (c *countingReader) ReadByte() (byte, error) {
+	b, err := c.br.ReadByte()
+	if err == nil {
+		c.off++
+	}
+	return b, err
+}
+
+// scanSpill walks a BTR1 stream once, recording where each chunk of
+// chunkEvents events begins (group offset, in-group skip, chaining PC)
+// without retaining any columns. It also reports the event count and
+// the total delta bytes, from which a would-be resident footprint is
+// derived.
+func scanSpill(r io.Reader, chunkEvents int) (idx []chunkPos, events int64, deltaBytes int64, err error) {
+	c := &countingReader{br: bufio.NewReaderSize(r, 1<<16)}
+	var hdr [4]byte
+	if _, err := io.ReadFull(c, hdr[:]); err != nil {
+		return nil, 0, 0, fmt.Errorf("trace: reading spill header: %w", err)
+	}
+	if hdr != magic {
+		return nil, 0, 0, ErrBadMagic
+	}
+	var pc uint64
+	var groups int64
+scan:
+	for {
+		groupStart := c.off
+		if _, err := c.ReadByte(); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, 0, 0, fmt.Errorf("trace: scanning spill: %w", err)
+		}
+		groups++
+		for i := 0; i < groupSize; i++ {
+			word, err := binary.ReadUvarint(c)
+			if err == io.EOF {
+				// Short final group: clean end of stream.
+				break scan
+			}
+			if err != nil {
+				return nil, 0, 0, fmt.Errorf("trace: scanning spill: %w", err)
+			}
+			if events%int64(chunkEvents) == 0 {
+				idx = append(idx, chunkPos{off: groupStart, startPC: pc, skip: uint8(i)})
+			}
+			pc += uint64(unzigzag(word))
+			events++
+		}
+	}
+	// Everything that is not the header or a group mask is delta bytes.
+	return idx, events, c.off - int64(len(magic)) - groups, nil
+}
+
+// readChunkAt pages chunk k (n events) from an open spill file: one
+// ReadAt covering the chunk's group span, then a straight decode.
+// Buffers are reused when large enough. The skip fields of idx make
+// chunk boundaries independent of the format's 8-event groups.
+func readChunkAt(f *os.File, idx []chunkPos, fileSize int64, k, n, chunkEvents int, pcs, dirs []uint64) (DecodedChunk, error) {
+	start := idx[k].off
+	end := fileSize
+	if k+1 < len(idx) {
+		end = idx[k+1].off
+		if s := int64(idx[k+1].skip); s > 0 {
+			// The next chunk starts mid-group, so our final events live
+			// past its group offset: the mask plus at most s full-width
+			// deltas bounds them.
+			end += 1 + s*binary.MaxVarintLen64
+			if end > fileSize {
+				end = fileSize
+			}
+		}
+	}
+	buf := make([]byte, end-start)
+	if _, err := f.ReadAt(buf, start); err != nil {
+		return DecodedChunk{}, fmt.Errorf("trace: paging spill chunk %d: %w", k, err)
+	}
+
+	corrupt := func() (DecodedChunk, error) {
+		return DecodedChunk{}, fmt.Errorf("trace: corrupt spill chunk %d", k)
+	}
+	if cap(pcs) < n {
+		pcs = make([]uint64, n)
+	}
+	pcs = pcs[:n]
+	words := (chunkEvents + 63) / 64
+	if cap(dirs) < words {
+		dirs = make([]uint64, words)
+	}
+	dirs = dirs[:words]
+	for i := range dirs {
+		dirs[i] = 0
+	}
+
+	if len(buf) == 0 {
+		return corrupt()
+	}
+	mask := buf[0]
+	p := 1
+	gi := 0
+	for s := 0; s < int(idx[k].skip); s++ {
+		_, w := binary.Uvarint(buf[p:])
+		if w <= 0 {
+			return corrupt()
+		}
+		p += w
+		gi++
+	}
+	pc := idx[k].startPC
+	for i := 0; i < n; i++ {
+		if gi == groupSize {
+			if p >= len(buf) {
+				return corrupt()
+			}
+			mask = buf[p]
+			p++
+			gi = 0
+		}
+		word, w := binary.Uvarint(buf[p:])
+		if w <= 0 {
+			return corrupt()
+		}
+		p += w
+		pc += uint64(unzigzag(word))
+		pcs[i] = pc
+		if mask&(1<<uint(gi)) != 0 {
+			dirs[i>>6] |= 1 << (uint(i) & 63)
+		}
+		gi++
+	}
+	return DecodedChunk{PCs: pcs, Dirs: dirs, N: n}, nil
+}
+
+// StreamRecorder is a Sink that writes a recording straight to a BTR1
+// spill file as events arrive, keeping at most a bounded prefix of
+// chunk columns resident — the out-of-core replacement for recording
+// into a ChunkRecorder and spilling afterwards, with peak memory
+// O(budget) instead of O(trace). Seal returns the finished recording
+// as a Handle whose resident prefix serves the hot head of replays and
+// whose remainder pages back in from the file it just wrote.
+//
+// With path == "" the recorder writes an anonymous temp file (unlinked
+// immediately; the open descriptor keeps it readable), so a bounded
+// run without a cache directory leaves nothing behind. With a path the
+// file is written via temp-and-rename, landing exactly where the trace
+// cache's spill probe will find it.
+//
+// The resident budget is a target, not a hard wall: retention stops at
+// the first chunk boundary past it, so the prefix may overshoot by up
+// to one chunk. residentBudget <= 0 retains nothing.
+type StreamRecorder struct {
+	chunkEvents int
+	budget      int64
+
+	f         *os.File
+	bw        *bufio.Writer
+	tmpPath   string
+	finalPath string
+
+	off         int64 // bytes emitted: header + complete groups
+	groupMask   byte
+	groupDeltas []byte
+	np          int // events pending in the current group
+	lastPC      uint64
+	events      int64
+	deltaBytes  int64
+	idx         []chunkPos
+
+	rec           *ChunkRecorder // resident-prefix recorder; nil once the budget is hit
+	prefix        *ChunkedTrace
+	retainedBytes int64
+
+	err    error
+	sealed bool
+}
+
+var _ Sink = (*StreamRecorder)(nil)
+
+// NewStreamRecorder opens a streaming recorder writing to path (or an
+// anonymous temp file when path is ""), cutting chunks every
+// chunkEvents events (<= 0 means DefaultChunkEvents) and keeping about
+// residentBudget bytes of leading chunk columns in memory.
+func NewStreamRecorder(path string, chunkEvents int, residentBudget int64) (*StreamRecorder, error) {
+	if chunkEvents <= 0 {
+		chunkEvents = DefaultChunkEvents
+	}
+	s := &StreamRecorder{chunkEvents: chunkEvents, budget: residentBudget, finalPath: path}
+	var err error
+	if path == "" {
+		s.f, err = os.CreateTemp("", "btr-stream-*.btr")
+		if err != nil {
+			return nil, err
+		}
+		// Unlink immediately: the descriptor keeps the file readable and
+		// the OS reclaims it when the handle is garbage, crash included.
+		os.Remove(s.f.Name())
+	} else {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return nil, err
+		}
+		s.f, err = os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+		if err != nil {
+			return nil, err
+		}
+		s.tmpPath = s.f.Name()
+	}
+	s.bw = bufio.NewWriterSize(s.f, 1<<16)
+	if _, err := s.bw.Write(magic[:]); err != nil {
+		s.Discard()
+		return nil, fmt.Errorf("trace: writing spill header: %w", err)
+	}
+	s.off = int64(len(magic))
+	if residentBudget > 0 {
+		s.rec = NewChunkRecorder(chunkEvents)
+	}
+	return s, nil
+}
+
+// Branch streams one event. Write errors are sticky and reported by
+// Seal.
+func (s *StreamRecorder) Branch(pc uint64, taken bool) {
+	if s.sealed {
+		panic("trace: recording into a sealed StreamRecorder")
+	}
+	if s.err != nil {
+		return
+	}
+	if s.events%int64(s.chunkEvents) == 0 {
+		if s.rec != nil && s.events > 0 {
+			// A chunk just completed (and was flushed by the prefix
+			// recorder at the end of the previous event): charge it, and
+			// stop retaining at the first boundary past the budget.
+			last := &s.rec.tr.chunks[len(s.rec.tr.chunks)-1]
+			s.retainedBytes += int64(len(last.deltas)) + int64(len(last.dirs))*8
+			if s.retainedBytes > s.budget {
+				s.prefix = s.rec.Trace()
+				s.rec = nil
+			}
+		}
+		s.idx = append(s.idx, chunkPos{off: s.off, startPC: s.lastPC, skip: uint8(s.np)})
+	}
+	if taken {
+		s.groupMask |= 1 << uint(s.np)
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(scratch[:], zigzag(int64(pc-s.lastPC)))
+	s.groupDeltas = append(s.groupDeltas, scratch[:n]...)
+	s.deltaBytes += int64(n)
+	s.lastPC = pc
+	s.np++
+	s.events++
+	if s.rec != nil {
+		s.rec.Branch(pc, taken)
+	}
+	if s.np == groupSize {
+		s.emitGroup()
+	}
+}
+
+func (s *StreamRecorder) emitGroup() {
+	if s.np == 0 || s.err != nil {
+		return
+	}
+	if err := s.bw.WriteByte(s.groupMask); err != nil {
+		s.err = fmt.Errorf("trace: writing spill group: %w", err)
+		return
+	}
+	if _, err := s.bw.Write(s.groupDeltas); err != nil {
+		s.err = fmt.Errorf("trace: writing spill group: %w", err)
+		return
+	}
+	s.off += 1 + int64(len(s.groupDeltas))
+	s.np = 0
+	s.groupMask = 0
+	s.groupDeltas = s.groupDeltas[:0]
+}
+
+// Events returns the number of events streamed so far.
+func (s *StreamRecorder) Events() int64 { return s.events }
+
+// Seal flushes the final group, lands the file (temp-and-rename for
+// named paths) and returns the recording as a Handle: resident prefix
+// in memory, everything else paged from the file on demand. Call it
+// exactly once; a failed Seal cleans up after itself.
+func (s *StreamRecorder) Seal() (*Handle, error) {
+	if s.sealed {
+		panic("trace: sealing a sealed StreamRecorder")
+	}
+	s.emitGroup()
+	if s.err == nil {
+		s.err = s.bw.Flush()
+	}
+	if s.err != nil {
+		err := s.err
+		s.Discard()
+		return nil, err
+	}
+	s.sealed = true
+
+	path := ""
+	if s.tmpPath != "" {
+		if err := os.Rename(s.tmpPath, s.finalPath); err != nil {
+			// The unlinked temp still backs the open descriptor, so the
+			// recording survives as an anonymous handle; only the durable
+			// path is lost.
+			os.Remove(s.tmpPath)
+		} else {
+			path = s.finalPath
+		}
+		s.tmpPath = ""
+	}
+
+	prefix := s.prefix
+	if s.rec != nil {
+		prefix = s.rec.Trace() // the whole recording fit the budget
+	}
+	var peak int64
+	if prefix != nil {
+		peak = prefix.SizeBytes()
+	}
+	return &Handle{
+		chunkEvents:  s.chunkEvents,
+		events:       s.events,
+		nchunks:      len(s.idx),
+		encoded:      s.deltaBytes + int64(len(s.idx))*int64((s.chunkEvents+63)/64)*8,
+		residentPeak: peak,
+		res:          prefix,
+		path:         path,
+		f:            s.f,
+		fileSize:     s.off,
+		idx:          s.idx,
+	}, nil
+}
+
+// Discard abandons the recording, closing and removing any file the
+// recorder created. Safe to call after a failed Seal or on an
+// abandoned recorder; a successful Seal hands the file to the Handle
+// and Discard must not be called.
+func (s *StreamRecorder) Discard() {
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+	if s.tmpPath != "" {
+		os.Remove(s.tmpPath)
+		s.tmpPath = ""
+	}
+	s.sealed = true
+}
