@@ -157,6 +157,43 @@ func BenchmarkSingleInputSlotOnly(b *testing.B) {
 	benchSingleInput(b, SimConfig{Scale: singleInputScale, ChunkTasks: -1})
 }
 
+// BenchmarkSingleInputSnapshot is the checkpointed intra-slot engine on
+// the saturation input: every one of the 34 bank slots splits into 4
+// checkpointed chunk ranges, so the sweep runs as 136 independent tasks
+// (reported as sweeptasks/op — well past the 34-chain ceiling) on
+// GOMAXPROCS workers. Against BenchmarkSingleInputSaturation the delta
+// is the checkpointing overhead (the update-only warmup replays all but
+// the last range twice, plus snapshot copies); the engine wins
+// wall-clock only when cores outnumber the 34 slots, which is why it is
+// off by default.
+func BenchmarkSingleInputSnapshot(b *testing.B) {
+	const ranges = 4
+	spec, err := FindWorkload("gcc", "genoutput.i")
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := []WorkloadSpec{spec}
+	cfg := SimConfig{Scale: singleInputScale, SnapshotRanges: ranges}
+	b.ResetTimer()
+	var events, snaps int64
+	for i := 0; i < b.N; i++ {
+		suite := RunSuite(specs, cfg)
+		events += suite.TotalEvents()
+		snaps += suite.Mem.SnapshotCount
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	// snapshots/op = slots × (ranges-1), so tasks/op = snapshots × R/(R-1).
+	b.ReportMetric(float64(snaps)/float64(b.N)*ranges/(ranges-1), "sweeptasks/op")
+}
+
+// BenchmarkSingleInputStreamingMmap is BenchmarkSingleInputStreaming
+// with the spill file mmapped: paged chunks decode straight from the
+// mapping instead of issuing one pread per page-in. The delta between
+// the two is the syscall + copy cost of pread-based paging.
+func BenchmarkSingleInputStreamingMmap(b *testing.B) {
+	benchSingleInput(b, SimConfig{Scale: singleInputScale, MemBudget: 64 << 10, DecodedBudget: 1 << 20, MmapSpill: true})
+}
+
 func benchSingleInput(b *testing.B, cfg SimConfig) {
 	spec, err := FindWorkload("gcc", "genoutput.i")
 	if err != nil {

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	brsim -bench vortex -input vortex.lit -pred pas -k 8 [-scale 0.1]
-//	      [-membudget bytes] [-memstats]
+//	      [-membudget bytes] [-memstats] [-snapshotranges N] [-workers N]
 //	brsim -trace foo.btr -pred gshare -k 12
 //
 // Predictors: pas, gas, gag, pag, gshare, bimodal, lasttime, taken,
@@ -20,6 +20,7 @@ import (
 	"btr"
 	"btr/internal/bpred"
 	"btr/internal/core"
+	"btr/internal/sim"
 	"btr/internal/trace"
 )
 
@@ -33,6 +34,8 @@ func main() {
 	memBudget := flag.Int64("membudget", 0, "stream the recording to a BTR1 spill file, keeping at most about this many resident bytes; replays page the rest back in (0 = retain the recording whole)")
 	cachedir := flag.String("cachedir", "", "reuse recorded workload traces as BTR1 files in this directory across invocations (filenames carry the workload-registry fingerprint, so a dir written by older workloads self-invalidates)")
 	memStats := flag.Bool("memstats", false, "report the recording's memory shape (encoded bytes, resident peak, page-ins) after the run")
+	snapshotRanges := flag.Int("snapshotranges", 0, "replay the recording as this many checkpointed chunk ranges in parallel (pas and gas only; 0 or 1 = chained replay, the default; results are bit-identical either way)")
+	workers := flag.Int("workers", 0, "concurrent range workers for -snapshotranges (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	// Workloads are recorded once: the profile-guided hybrids replay the
@@ -93,6 +96,7 @@ func main() {
 	}
 
 	var res bpred.Result
+	var snapStats *sim.SnapshotRunStats
 	switch {
 	case *tracePath != "":
 		f, err := os.Open(*tracePath)
@@ -109,6 +113,15 @@ func main() {
 			fatal(err)
 		}
 	case recorded != nil:
+		if *snapshotRanges > 1 {
+			if mk := snapshotFactory(*pred, *k); mk != nil {
+				var stats sim.SnapshotRunStats
+				res, stats = sim.RunPredictorSnapshot(recorded, mk, *snapshotRanges, *workers)
+				snapStats = &stats
+				break
+			}
+			fmt.Fprintf(os.Stderr, "brsim: warning: -snapshotranges supports pas and gas only; replaying %s chained\n", *pred)
+		}
 		res, err = bpred.Run(p, recorded.Source())
 		if err != nil {
 			fatal(err)
@@ -119,9 +132,27 @@ func main() {
 
 	fmt.Printf("predictor=%s events=%d misses=%d missrate=%.4f accuracy=%.2f%% state=%d bits\n",
 		p.Name(), res.Events, res.Misses, res.MissRate(), 100*(1-res.MissRate()), p.SizeBits())
+	if snapStats != nil {
+		fmt.Printf("snapshots: ranges=%d count=%d bytes=%d\n",
+			snapStats.Ranges, snapStats.Snapshots, snapStats.SnapshotBytes)
+	}
 	if *memStats && recorded != nil {
 		fmt.Printf("mem: encoded_bytes=%d resident_peak=%d page_ins=%d spilled=%v\n",
 			recorded.EncodedBytes(), recorded.ResidentPeak(), recorded.PageIns(), recorded.Spilled())
+	}
+}
+
+// snapshotFactory returns a builder for the predictors that implement
+// the checkpointed replay contract (batch sweep + update-only warmup +
+// flat snapshots); nil for everything else.
+func snapshotFactory(kind string, k int) func() sim.SnapshotPredictor {
+	switch kind {
+	case "pas":
+		return func() sim.SnapshotPredictor { return bpred.NewPAs(k) }
+	case "gas":
+		return func() sim.SnapshotPredictor { return bpred.NewGAs(k) }
+	default:
+		return nil
 	}
 }
 

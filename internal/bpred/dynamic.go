@@ -120,6 +120,64 @@ func (d *DynamicClassHybrid) SizeBits() int64 {
 		int64(len(d.entries))*perEntry
 }
 
+// dynEntrySnapshotBytes is the encoded size of one monitor entry:
+// three uint16 window counters plus four single-byte flags/advice.
+const dynEntrySnapshotBytes = 10
+
+// SnapshotBytes implements Snapshotter: the monitor table plus the
+// three dynamic components (all must be Snapshotters).
+func (d *DynamicClassHybrid) SnapshotBytes() int64 {
+	return int64(len(d.entries))*dynEntrySnapshotBytes +
+		asSnapshotter(d.biasTbl, "DynamicClassHybrid").SnapshotBytes() +
+		asSnapshotter(d.short, "DynamicClassHybrid").SnapshotBytes() +
+		asSnapshotter(d.long, "DynamicClassHybrid").SnapshotBytes()
+}
+
+// SnapshotTo implements Snapshotter.
+func (d *DynamicClassHybrid) SnapshotTo(dst []byte) int {
+	n := 0
+	for i := range d.entries {
+		e := &d.entries[i]
+		dst[n] = byte(e.execs)
+		dst[n+1] = byte(e.execs >> 8)
+		dst[n+2] = byte(e.taken)
+		dst[n+3] = byte(e.taken >> 8)
+		dst[n+4] = byte(e.trans)
+		dst[n+5] = byte(e.trans >> 8)
+		n += 6
+		n += putBool(dst[n:], e.last)
+		n += putBool(dst[n:], e.primed)
+		n += putBool(dst[n:], e.classified)
+		dst[n] = byte(e.advice)
+		n++
+	}
+	n += asSnapshotter(d.biasTbl, "DynamicClassHybrid").SnapshotTo(dst[n:])
+	n += asSnapshotter(d.short, "DynamicClassHybrid").SnapshotTo(dst[n:])
+	n += asSnapshotter(d.long, "DynamicClassHybrid").SnapshotTo(dst[n:])
+	return n
+}
+
+// RestoreFrom implements Snapshotter.
+func (d *DynamicClassHybrid) RestoreFrom(src []byte) int {
+	n := 0
+	for i := range d.entries {
+		e := &d.entries[i]
+		e.execs = uint16(src[n]) | uint16(src[n+1])<<8
+		e.taken = uint16(src[n+2]) | uint16(src[n+3])<<8
+		e.trans = uint16(src[n+4]) | uint16(src[n+5])<<8
+		n += 6
+		n += getBool(src[n:], &e.last)
+		n += getBool(src[n:], &e.primed)
+		n += getBool(src[n:], &e.classified)
+		e.advice = core.Advice(src[n])
+		n++
+	}
+	n += asSnapshotter(d.biasTbl, "DynamicClassHybrid").RestoreFrom(src[n:])
+	n += asSnapshotter(d.short, "DynamicClassHybrid").RestoreFrom(src[n:])
+	n += asSnapshotter(d.long, "DynamicClassHybrid").RestoreFrom(src[n:])
+	return n
+}
+
 // AdviceFor exposes the current dynamic classification of a branch, for
 // inspection ("unclassified" during the first window).
 func (d *DynamicClassHybrid) AdviceFor(pc uint64) string {

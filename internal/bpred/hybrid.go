@@ -138,6 +138,31 @@ func (h *ClassHybrid) SizeBits() int64 {
 	return h.biasTbl.SizeBits() + h.short.SizeBits() + h.long.SizeBits()
 }
 
+// SnapshotBytes implements Snapshotter: the three dynamic components
+// (class map and profiled bias are fixed at construction); all must be
+// Snapshotters.
+func (h *ClassHybrid) SnapshotBytes() int64 {
+	return asSnapshotter(h.biasTbl, "ClassHybrid").SnapshotBytes() +
+		asSnapshotter(h.short, "ClassHybrid").SnapshotBytes() +
+		asSnapshotter(h.long, "ClassHybrid").SnapshotBytes()
+}
+
+// SnapshotTo implements Snapshotter.
+func (h *ClassHybrid) SnapshotTo(dst []byte) int {
+	n := asSnapshotter(h.biasTbl, "ClassHybrid").SnapshotTo(dst)
+	n += asSnapshotter(h.short, "ClassHybrid").SnapshotTo(dst[n:])
+	n += asSnapshotter(h.long, "ClassHybrid").SnapshotTo(dst[n:])
+	return n
+}
+
+// RestoreFrom implements Snapshotter.
+func (h *ClassHybrid) RestoreFrom(src []byte) int {
+	n := asSnapshotter(h.biasTbl, "ClassHybrid").RestoreFrom(src)
+	n += asSnapshotter(h.short, "ClassHybrid").RestoreFrom(src[n:])
+	n += asSnapshotter(h.long, "ClassHybrid").RestoreFrom(src[n:])
+	return n
+}
+
 // ComponentFor exposes which component a branch is steered to ("static",
 // "bias-table", "short-local", "long-history"), for reporting.
 func (h *ClassHybrid) ComponentFor(pc uint64) string {

@@ -1,0 +1,142 @@
+package bpred
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The checkpoint protocol behind the simulator's intra-slot sweep
+// parallelism: a predictor serialises its complete mutable state into a
+// flat byte slice and restores it later, so a sweep can snapshot a
+// predictor at a chunk-range boundary and run later ranges concurrently
+// from the restored state instead of chaining them sequentially.
+//
+// Snapshots are process-internal: the layout is a plain concatenation
+// of the predictor's tables and history registers (fixed-width
+// little-endian words, one byte per 2-bit counter or flag), carries no
+// header or versioning, and is only ever restored into a predictor of
+// the identical configuration inside the same process. Restoring is as
+// cheap as the copy: a restored predictor is bit-for-bit
+// indistinguishable from the snapshotted one (TestSnapshotRoundTrip).
+
+// Snapshotter is the checkpoint protocol. Every predictor in this
+// package implements it; composite predictors (Tournament, Filter, the
+// hybrids) require their components to implement it too and panic with
+// the offending component's name otherwise.
+type Snapshotter interface {
+	// SnapshotBytes returns the exact size of one snapshot in bytes.
+	// It is constant for a given configuration.
+	SnapshotBytes() int64
+	// SnapshotTo serialises the predictor's complete mutable state into
+	// dst, which must hold at least SnapshotBytes bytes, and returns
+	// the bytes written.
+	SnapshotTo(dst []byte) int
+	// RestoreFrom overwrites the predictor's mutable state with a
+	// snapshot previously written by SnapshotTo on an identically
+	// configured predictor, returning the bytes consumed.
+	RestoreFrom(src []byte) int
+}
+
+// Snapshot allocates and fills a fresh snapshot of s.
+func Snapshot(s Snapshotter) []byte {
+	buf := make([]byte, s.SnapshotBytes())
+	s.SnapshotTo(buf)
+	return buf
+}
+
+// asSnapshotter returns p's checkpoint protocol, panicking with a
+// message naming the owning composite when p cannot provide one — a
+// composite predictor can only checkpoint when every component can.
+func asSnapshotter(p Predictor, owner string) Snapshotter {
+	if s, ok := p.(Snapshotter); ok {
+		return s
+	}
+	panic(fmt.Sprintf("bpred: %s component %s does not support snapshots", owner, p.Name()))
+}
+
+// --- flat codec helpers ---
+//
+// All fixed width, no framing: the reader knows the layout because it
+// is the identically configured predictor.
+
+func putU64(dst []byte, v uint64) int {
+	binary.LittleEndian.PutUint64(dst, v)
+	return 8
+}
+
+func getU64(src []byte, v *uint64) int {
+	*v = binary.LittleEndian.Uint64(src)
+	return 8
+}
+
+func putU64s(dst []byte, src []uint64) int {
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(dst[i*8:], v)
+	}
+	return len(src) * 8
+}
+
+func getU64s(dst []uint64, src []byte) int {
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint64(src[i*8:])
+	}
+	return len(dst) * 8
+}
+
+func putU16s(dst []byte, src []uint16) int {
+	for i, v := range src {
+		binary.LittleEndian.PutUint16(dst[i*2:], v)
+	}
+	return len(src) * 2
+}
+
+func getU16s(dst []uint16, src []byte) int {
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint16(src[i*2:])
+	}
+	return len(dst) * 2
+}
+
+func putBools(dst []byte, src []bool) int {
+	for i, b := range src {
+		dst[i] = 0
+		if b {
+			dst[i] = 1
+		}
+	}
+	return len(src)
+}
+
+func getBools(dst []bool, src []byte) int {
+	for i := range dst {
+		dst[i] = src[i] != 0
+	}
+	return len(dst)
+}
+
+func putCounters(dst []byte, src []Counter2) int {
+	for i, c := range src {
+		dst[i] = byte(c)
+	}
+	return len(src)
+}
+
+func getCounters(dst []Counter2, src []byte) int {
+	for i := range dst {
+		dst[i] = Counter2(src[i])
+	}
+	return len(dst)
+}
+
+func putBool(dst []byte, b bool) int {
+	dst[0] = 0
+	if b {
+		dst[0] = 1
+	}
+	return 1
+}
+
+func getBool(src []byte, b *bool) int {
+	*b = src[0] != 0
+	return 1
+}

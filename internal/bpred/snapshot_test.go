@@ -1,0 +1,150 @@
+package bpred
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The Snapshotter contract, pinned per predictor: snapshot mid-trace,
+// keep running, mutate freely, restore, and the predictor must replay
+// the continuation bit-identically. The stream mixes biased,
+// alternating, and pseudo-random branches so every table sees traffic.
+
+func snapshotBuilders() map[string]func() Predictor {
+	profiles, classes := buildTestProfiles()
+	return map[string]func() Predictor{
+		"PAs(0)":     func() Predictor { return NewPAs(0) },
+		"PAs(1)":     func() Predictor { return NewPAs(1) },
+		"PAs(8)":     func() Predictor { return NewPAs(8) },
+		"PAs(16)":    func() Predictor { return NewPAs(16) },
+		"GAs(0)":     func() Predictor { return NewGAs(0) },
+		"GAs(10)":    func() Predictor { return NewGAs(10) },
+		"GAs(16)":    func() Predictor { return NewGAs(16) },
+		"GAg(12)":    func() Predictor { return NewGAg(12) },
+		"PAg(8)":     func() Predictor { return NewPAg(8, 12) },
+		"gshare":     func() Predictor { return NewGShare(16, 12) },
+		"bimodal":    func() Predictor { return NewBimodal(14) },
+		"lasttime":   func() Predictor { return NewLastTime(14) },
+		"taken":      func() Predictor { return NewAlwaysTaken() },
+		"staticbias": func() Predictor { return NewStaticBias(map[uint64]bool{0x400000: false}) },
+		"agree":      func() Predictor { return NewAgree(16, 10, 14) },
+		"tournament": func() Predictor {
+			return NewTournament("t", NewPAs(6), NewGShare(14, 8), 12)
+		},
+		"bimode": func() Predictor { return NewBiMode(14, 12, 10) },
+		"yags":   func() Predictor { return NewYAGS(14, 10, 8, 10) },
+		"filter": func() Predictor { return NewFilter(12, 32, NewGShare(14, 10)) },
+		"gskew":  func() Predictor { return NewGSkew(13, 10) },
+		"transitionhybrid": func() Predictor {
+			return NewTransitionHybrid(classes, profiles, HybridComponents{})
+		},
+		"dynamichybrid": func() Predictor {
+			return NewDynamicClassHybrid(12, 64, HybridComponents{})
+		},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	stream := fusedStream(24000)
+	prefix, suffix := stream[:12000], stream[12000:20000]
+	poison := stream[20000:]
+	for name, build := range snapshotBuilders() {
+		p := build()
+		s, ok := p.(Snapshotter)
+		if !ok {
+			t.Errorf("%s: does not implement Snapshotter", name)
+			continue
+		}
+		for _, ev := range prefix {
+			p.Update(ev.pc, ev.taken)
+		}
+		snap := make([]byte, s.SnapshotBytes())
+		if n := s.SnapshotTo(snap); n != len(snap) {
+			t.Fatalf("%s: SnapshotTo wrote %d bytes, SnapshotBytes says %d", name, n, len(snap))
+		}
+
+		// Reference continuation from the snapshotted state.
+		want := make([]bool, len(suffix))
+		for i, ev := range suffix {
+			want[i] = p.Predict(ev.pc)
+			p.Update(ev.pc, ev.taken)
+		}
+
+		// Mutate well past the snapshot, then restore and replay.
+		for _, ev := range poison {
+			p.Update(ev.pc, !ev.taken)
+		}
+		if n := s.RestoreFrom(snap); n != len(snap) {
+			t.Fatalf("%s: RestoreFrom consumed %d bytes, want %d", name, n, len(snap))
+		}
+		resnap := make([]byte, s.SnapshotBytes())
+		s.SnapshotTo(resnap)
+		if !bytes.Equal(snap, resnap) {
+			t.Fatalf("%s: snapshot immediately after restore differs", name)
+		}
+		for i, ev := range suffix {
+			if got := p.Predict(ev.pc); got != want[i] {
+				t.Fatalf("%s: event %d: restored replay predicted %v, original %v", name, i, got, want[i])
+			}
+			p.Update(ev.pc, ev.taken)
+		}
+	}
+}
+
+// TestUpdateChunkMatchesSweepChunk pins the warmup pass the snapshot
+// engine relies on: an update-only replay must leave a bank predictor in
+// exactly the state a predicting sweep does (Predict has no side
+// effects). State equality is checked through the snapshot encoding,
+// which covers every mutable field.
+func TestUpdateChunkMatchesSweepChunk(t *testing.T) {
+	type warmSweeper interface {
+		Snapshotter
+		SweepChunk(pcs, dirs []uint64, n int, wrong []uint64)
+		UpdateChunk(pcs, dirs []uint64, n int)
+	}
+	builders := map[string]func() warmSweeper{
+		"PAs(0)":  func() warmSweeper { return NewPAs(0) },
+		"PAs(1)":  func() warmSweeper { return NewPAs(1) },
+		"PAs(8)":  func() warmSweeper { return NewPAs(8) },
+		"PAs(16)": func() warmSweeper { return NewPAs(16) },
+		"GAs(0)":  func() warmSweeper { return NewGAs(0) },
+		"GAs(10)": func() warmSweeper { return NewGAs(10) },
+		"GAs(16)": func() warmSweeper { return NewGAs(16) },
+	}
+	stream := fusedStream(10000)
+	for name, build := range builders {
+		sweep, update := build(), build()
+		for start := 0; start < len(stream); {
+			n := 97
+			if start+n > len(stream) {
+				n = len(stream) - start
+			}
+			pcs := make([]uint64, n)
+			dirs := make([]uint64, (n+63)/64)
+			for i := 0; i < n; i++ {
+				pcs[i] = stream[start+i].pc
+				if stream[start+i].taken {
+					dirs[i>>6] |= 1 << (uint(i) & 63)
+				}
+			}
+			sweep.SweepChunk(pcs, dirs, n, make([]uint64, (n+63)/64))
+			update.UpdateChunk(pcs, dirs, n)
+			start += n
+		}
+		if !bytes.Equal(Snapshot(sweep), Snapshot(update)) {
+			t.Fatalf("%s: update-only state diverged from sweep state", name)
+		}
+	}
+}
+
+func TestSnapshotRejectsBareComponent(t *testing.T) {
+	// A composite whose component cannot checkpoint must fail loudly,
+	// not silently skip state.
+	tour := NewTournament("t", plainOnly{NewLastTime(8)}, NewBimodal(10), 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SnapshotBytes on a non-snapshottable component did not panic")
+		}
+	}()
+	tour.SnapshotBytes()
+}

@@ -161,5 +161,5 @@ func (g *attribGrid) finish(w *sched.Worker) {
 	if g.cfg.Profiles != nil {
 		g.cfg.Profiles.put(g.cfg.cacheKey(g.spec), g.cfg.window(), g.res, g.classIdx)
 	}
-	startChunkSweep(w, g.cfg, g.res, g.classIdx, g.pool, g.out, g.errOut)
+	startSweep(w, g.cfg, g.res, g.classIdx, g.pool, g.out, g.errOut)
 }

@@ -121,6 +121,28 @@ type Config struct {
 	// 0 keeps recordings fully resident, the default. Ignored under
 	// NoRecord.
 	MemBudget int64
+	// SnapshotRanges selects the checkpointed intra-slot sweep engine:
+	// every bank slot's chunk axis splits into this many ranges, a
+	// predict-free warmup chain per slot checkpoints the predictor's
+	// state at each range boundary (flat byte-slice snapshots, accounted
+	// in MemStats), and the ranges sweep concurrently from restored
+	// snapshots — numBankSlots × SnapshotRanges independent tasks, so a
+	// single input can saturate more than 34 cores. 0 or 1 keeps the
+	// chained engine, the default: the warmup replays all but the last
+	// range twice, so checkpointing only wins when cores outnumber
+	// slots. The value is result-invisible — every setting is
+	// bit-for-bit identical to the chained sweep
+	// (TestSnapshotMatrixMatchesChained). Honoured by the scheduled
+	// chunked engine only; NoSched, NoRecord and ChunkTasks < 0 ignore
+	// it.
+	SnapshotRanges int
+	// MmapSpill, when true, maps spill-backed recordings into memory and
+	// decodes paged chunks straight from the mapping instead of issuing
+	// pread calls — replays of paper-scale spill files ride the page
+	// cache without per-chunk syscalls. Handles without spill backing
+	// (or platforms without mmap) silently keep the pread path. The
+	// value is result-invisible.
+	MmapSpill bool
 	// DecodedBudget bounds the decoded-chunk pool the scheduled sweep
 	// checks chunks out of: 0 retains every decoded column for the
 	// duration of the input's sweep (the pre-streaming behaviour), > 0
@@ -165,6 +187,17 @@ func (c Config) chunkTasks() int {
 		return DefaultChunkTasks
 	}
 	return c.ChunkTasks
+}
+
+// snapshotRanges resolves Config.SnapshotRanges against a recording's
+// chunk count: the checkpointed engine only engages when more than one
+// non-empty range is possible.
+func (c Config) snapshotRanges(nchunks int) int {
+	r := c.SnapshotRanges
+	if r > nchunks {
+		r = nchunks
+	}
+	return r
 }
 
 func (c Config) bankWorkers() int {
@@ -277,6 +310,14 @@ type MemStats struct {
 	DecodedRedecodes int64
 	DecodedEvicted   int64
 	DecodedPeak      int64
+	// SnapshotCount / SnapshotBytes / SnapshotPeak describe the
+	// checkpointed sweep's predictor snapshots (Config.SnapshotRanges):
+	// how many were taken, their cumulative size, and the high-water
+	// mark of snapshot bytes live at once (each snapshot dies when its
+	// range restores it). Zero under the chained engine.
+	SnapshotCount int64
+	SnapshotBytes int64
+	SnapshotPeak  int64
 }
 
 // Add accumulates other into m: counters sum, peaks take the max (the
@@ -287,11 +328,16 @@ func (m *MemStats) Add(other *MemStats) {
 	m.DecodedHits += other.DecodedHits
 	m.DecodedRedecodes += other.DecodedRedecodes
 	m.DecodedEvicted += other.DecodedEvicted
+	m.SnapshotCount += other.SnapshotCount
+	m.SnapshotBytes += other.SnapshotBytes
 	if other.ResidentPeak > m.ResidentPeak {
 		m.ResidentPeak = other.ResidentPeak
 	}
 	if other.DecodedPeak > m.DecodedPeak {
 		m.DecodedPeak = other.DecodedPeak
+	}
+	if other.SnapshotPeak > m.SnapshotPeak {
+		m.SnapshotPeak = other.SnapshotPeak
 	}
 }
 
@@ -378,12 +424,14 @@ func profileRecorded(spec workload.Spec, cfg Config) (*core.Profiler, *trace.Han
 	profiler := core.NewProfiler()
 	if cfg.Cache != nil {
 		if h, ok := cfg.Cache.GetHandle(cfg.cacheKey(spec)); ok {
+			cfg.mmapHandle(h)
 			h.Replay(profiler)
 			return profiler, h
 		}
 	}
 	if cfg.MemBudget > 0 {
 		if h, ok := streamRecord(spec, cfg, profiler); ok {
+			cfg.mmapHandle(h)
 			return profiler, h
 		}
 		// The spill file could not be created or sealed: fall back to the
@@ -534,8 +582,19 @@ func profileCached(spec workload.Spec, cfg Config) (*InputResult, []uint8, bool)
 	if !ok {
 		return nil, nil, false
 	}
+	cfg.mmapHandle(h)
 	res.Recorded = h
 	return res, classIdx, true
+}
+
+// mmapHandle applies Config.MmapSpill to a freshly acquired recording
+// handle. Failure (no spill backing, unsupported platform, map error)
+// silently keeps the pread path: the knob is a paging-strategy hint,
+// never a correctness requirement.
+func (c Config) mmapHandle(h *trace.Handle) {
+	if c.MmapSpill && h.Spilled() {
+		_ = h.EnableMmap()
+	}
 }
 
 // missCell is one bank slot's flat class-attributed miss counters.

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"btr/internal/bpred"
+	"btr/internal/workload"
+)
+
+// TestSnapshotMatrixMatchesChained is the golden equivalence matrix for
+// the checkpointed intra-slot engine: {chained, snapshot ranges
+// {2, 5, all-chunks}} × workers {1, 4, GOMAXPROCS} × {retained,
+// spill+pool} must all produce bit-identical SuiteResults. A small
+// ChunkEvents forces many chunks at test scale so every requested range
+// count genuinely splits the chunk axis; the snapshot counters are
+// asserted so the checkpointed legs provably checkpointed rather than
+// trivially passing through the chained path.
+func TestSnapshotMatrixMatchesChained(t *testing.T) {
+	specs := []workload.Spec{
+		testSpec(t, "compress", "bigtest.in"),
+		testSpec(t, "gcc", "genoutput.i"),
+		testSpec(t, "li", "ref.lsp"),
+	}
+	base := Config{Scale: testScale, ChunkEvents: 256}
+	chained := RunSuite(specs, base)
+	if m := chained.Mem; m.SnapshotCount != 0 || m.SnapshotBytes != 0 {
+		t.Fatalf("chained run took snapshots: %+v", m)
+	}
+
+	budgets := []struct {
+		name    string
+		mem     int64
+		decoded int64
+	}{
+		{"retained", 0, 0},
+		{"spill+pool", 4096, 6000},
+	}
+	const allRanges = 1 << 30
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		for _, b := range budgets {
+			for _, ranges := range []int{2, 5, allRanges} {
+				cfg := base
+				cfg.Workers = workers
+				cfg.MemBudget = b.mem
+				cfg.DecodedBudget = b.decoded
+				cfg.SnapshotRanges = ranges
+				label := fmt.Sprintf("snapshot/%s/workers=%d/ranges=%d", b.name, workers, ranges)
+				got := RunSuite(specs, cfg)
+				assertSuitesEqual(t, label, chained, got)
+				m := got.Mem
+				if m.SnapshotCount == 0 || m.SnapshotBytes == 0 || m.SnapshotPeak == 0 {
+					t.Fatalf("%s: checkpointed run took no snapshots: %+v", label, m)
+				}
+				for _, r := range got.Inputs {
+					if r.Mem.SnapshotPeak > r.Mem.SnapshotBytes {
+						t.Fatalf("%s/%s: snapshot peak %d exceeds total %d",
+							label, r.Spec.Name(), r.Mem.SnapshotPeak, r.Mem.SnapshotBytes)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotTaskFanOut pins the engine's reason to exist: with R
+// ranges, every bank slot checkpoints R-1 boundary states, so the grid
+// ran numBankSlots × R independent sweep tasks — well past the 34-chain
+// ceiling.
+func TestSnapshotTaskFanOut(t *testing.T) {
+	const ranges = 5
+	spec := testSpec(t, "gcc", "genoutput.i")
+	cfg := Config{Scale: testScale, ChunkEvents: 256, SnapshotRanges: ranges, Workers: 4}
+	suite := RunSuite([]workload.Spec{spec}, cfg)
+	if len(suite.Inputs) != 1 {
+		t.Fatalf("inputs %d (dropped: %v)", len(suite.Inputs), suite.Dropped)
+	}
+	got := suite.Inputs[0].Mem.SnapshotCount
+	if want := int64(numBankSlots * (ranges - 1)); got != want {
+		t.Fatalf("snapshot count %d, want %d (numBankSlots × (ranges-1))", got, want)
+	}
+}
+
+// TestSnapshotRangesClampToChunks pins the degenerate geometries: more
+// ranges than chunks clamps cleanly, and 0/1 ranges stay on the chained
+// engine (no snapshots at all).
+func TestSnapshotRangesClampToChunks(t *testing.T) {
+	spec := testSpec(t, "perl", "primes.pl")
+	base := Config{Scale: testScale, ChunkEvents: 256}
+	chained := RunSuite([]workload.Spec{spec}, base)
+	for _, ranges := range []int{0, 1} {
+		cfg := base
+		cfg.SnapshotRanges = ranges
+		got := RunSuite([]workload.Spec{spec}, cfg)
+		assertSuitesEqual(t, fmt.Sprintf("ranges=%d", ranges), chained, got)
+		if got.Mem.SnapshotCount != 0 {
+			t.Fatalf("ranges=%d took %d snapshots, want none", ranges, got.Mem.SnapshotCount)
+		}
+	}
+}
+
+func TestSnapshotBounds(t *testing.T) {
+	cases := []struct {
+		nchunks, ranges int
+		want            []int
+	}{
+		{10, 2, []int{0, 5, 10}},
+		{10, 3, []int{0, 3, 6, 10}},
+		{3, 10, []int{0, 1, 2, 3}}, // clamped to nchunks
+		{7, 1, []int{0, 7}},
+		{5, 0, []int{0, 5}}, // degenerate: single range
+	}
+	for _, c := range cases {
+		got := snapshotBounds(c.nchunks, c.ranges)
+		if len(got) != len(c.want) {
+			t.Fatalf("bounds(%d,%d) = %v, want %v", c.nchunks, c.ranges, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("bounds(%d,%d) = %v, want %v", c.nchunks, c.ranges, got, c.want)
+			}
+		}
+	}
+}
+
+// TestRunPredictorSnapshotMatchesRun pins the single-predictor runner
+// brsim uses: for PAs and GAs over a recorded trace, checkpointed range
+// parallelism at any geometry must reproduce the sequential bpred.Run
+// miss count exactly.
+func TestRunPredictorSnapshotMatchesRun(t *testing.T) {
+	spec := testSpec(t, "li", "ref.lsp")
+	res := passOne(spec, Config{Scale: testScale, ChunkEvents: 256})
+	h := res.Recorded
+
+	builders := map[string]func() SnapshotPredictor{
+		"PAs(6)":  func() SnapshotPredictor { return bpred.NewPAs(6) },
+		"GAs(10)": func() SnapshotPredictor { return bpred.NewGAs(10) },
+	}
+	for name, mk := range builders {
+		want, err := bpred.Run(mk(), h.Source())
+		if err != nil {
+			t.Fatalf("%s: sequential run: %v", name, err)
+		}
+		for _, ranges := range []int{1, 3, 7, 1 << 30} {
+			for _, workers := range []int{1, 4} {
+				got, stats := RunPredictorSnapshot(h, mk, ranges, workers)
+				if got.Misses != want.Misses || got.Events != want.Events {
+					t.Fatalf("%s ranges=%d workers=%d: misses/events %d/%d, want %d/%d",
+						name, ranges, workers, got.Misses, got.Events, want.Misses, want.Events)
+				}
+				if int64(stats.Ranges) != stats.Snapshots {
+					t.Fatalf("%s ranges=%d: %d snapshots for %d ranges (initial state included)",
+						name, ranges, stats.Snapshots, stats.Ranges)
+				}
+			}
+		}
+	}
+}

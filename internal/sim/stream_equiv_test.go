@@ -38,10 +38,14 @@ func TestStreamedMatrixMatchesRetained(t *testing.T) {
 		name    string
 		mem     int64 // Config.MemBudget
 		decoded int64 // Config.DecodedBudget
+		ranges  int   // Config.SnapshotRanges
+		mmap    bool  // Config.MmapSpill
 	}{
-		{"spill+pool", 4096, 6000},
-		{"spill+cache-nothing", 4096, -1},
-		{"resident+pool", 0, 6000},
+		{"spill+pool", 4096, 6000, 0, false},
+		{"spill+cache-nothing", 4096, -1, 0, false},
+		{"resident+pool", 0, 6000, 0, false},
+		{"spill+pool+snapshot", 4096, 6000, 3, false},
+		{"spill+pool+mmap", 4096, 6000, 0, true},
 	}
 	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
 		for _, b := range budgets {
@@ -49,6 +53,8 @@ func TestStreamedMatrixMatchesRetained(t *testing.T) {
 			cfg.Workers = workers
 			cfg.MemBudget = b.mem
 			cfg.DecodedBudget = b.decoded
+			cfg.SnapshotRanges = b.ranges
+			cfg.MmapSpill = b.mmap
 			label := fmt.Sprintf("%s/workers=%d", b.name, workers)
 			got := RunSuite(specs, cfg)
 			assertSuitesEqual(t, label, retained, got)
@@ -66,6 +72,20 @@ func TestStreamedMatrixMatchesRetained(t *testing.T) {
 			}
 			if b.decoded != 0 && m.DecodedEvicted == 0 {
 				t.Fatalf("%s: bounded decoded pool never evicted (mem %+v)", label, m)
+			}
+			if b.ranges > 1 {
+				if m.SnapshotCount == 0 || m.SnapshotBytes == 0 || m.SnapshotPeak == 0 {
+					t.Fatalf("%s: checkpointed streamed run took no snapshots (mem %+v)", label, m)
+				}
+			} else if m.SnapshotCount != 0 {
+				t.Fatalf("%s: chained run took snapshots (mem %+v)", label, m)
+			}
+			if b.mmap {
+				for _, r := range got.Inputs {
+					if !r.Recorded.Mmapped() {
+						t.Fatalf("%s/%s: MmapSpill run paged via pread", label, r.Spec.Name())
+					}
+				}
 			}
 		}
 	}

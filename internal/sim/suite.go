@@ -150,7 +150,7 @@ func profileTask(w *sched.Worker, spec workload.Spec, cfg Config, workers int, o
 	if res, classIdx, ok := profileCached(spec, cfg); ok {
 		// Cached profile: no generator, no attribution — straight to sweep.
 		pool := trace.NewDecodedPool(res.Recorded, cfg.DecodedBudget)
-		startChunkSweep(w, cfg, res, classIdx, pool, out, errOut)
+		startSweep(w, cfg, res, classIdx, pool, out, errOut)
 		return
 	}
 	var res *InputResult

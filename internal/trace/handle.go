@@ -72,7 +72,8 @@ type Handle struct {
 	path     string        // spill file, "" for anonymous temp or memory-only
 	f        *os.File      // open spill file, lazily opened from path
 	fileSize int64
-	idx      []chunkPos // per-chunk file positions, lazily built
+	idx      []chunkPos  // per-chunk file positions, lazily built
+	mm       *mmapRegion // read-only mapping of the spill file; nil = pread
 
 	pageIns atomic.Int64
 }
@@ -263,6 +264,39 @@ func (h *Handle) indexLocked() ([]chunkPos, error) {
 	return idx, nil
 }
 
+// EnableMmap switches the handle's spill paging from pread to a
+// read-only shared mapping of the whole file. Page-ins then decode
+// straight out of the mapping — no read syscall, no copy of the encoded
+// bytes — and the OS page cache, not the handle, decides what stays
+// warm. Idempotent; requires spill backing. On platforms without mmap
+// support (or for files too large to map) it returns an error and the
+// handle keeps paging via pread, so callers may treat failure as a soft
+// fallback.
+func (h *Handle) EnableMmap() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.mm != nil {
+		return nil
+	}
+	f, err := h.fileLocked()
+	if err != nil {
+		return err
+	}
+	mm, err := mapFile(f, h.fileSize)
+	if err != nil {
+		return err
+	}
+	h.mm = mm
+	return nil
+}
+
+// Mmapped reports whether spill page-ins decode from a mapping.
+func (h *Handle) Mmapped() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.mm != nil
+}
+
 // chunkLen returns chunk k's event count.
 func (h *Handle) chunkLen(k int) int {
 	if k == h.nchunks-1 {
@@ -306,9 +340,15 @@ func (h *Handle) DecodeChunkInto(k int, pcs, dirs []uint64) (DecodedChunk, error
 		return DecodedChunk{}, err
 	}
 	fileSize := h.fileSize
+	mm := h.mm
 	h.mu.Unlock()
 
-	d, err := readChunkAt(f, idx, fileSize, k, h.chunkLen(k), h.chunkEvents, pcs, dirs)
+	var d DecodedChunk
+	if mm != nil {
+		d, err = readChunkMapped(mm, idx, fileSize, k, h.chunkLen(k), h.chunkEvents, pcs, dirs)
+	} else {
+		d, err = readChunkAt(f, idx, fileSize, k, h.chunkLen(k), h.chunkEvents, pcs, dirs)
+	}
 	if err != nil {
 		return DecodedChunk{}, err
 	}

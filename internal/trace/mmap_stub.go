@@ -1,0 +1,21 @@
+//go:build !unix
+
+package trace
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapSupported reports whether this platform can map spill files.
+const mmapSupported = false
+
+// mmapRegion is never instantiated on platforms without mmap support;
+// paging stays on the pread path.
+type mmapRegion struct {
+	data []byte
+}
+
+func mapFile(f *os.File, size int64) (*mmapRegion, error) {
+	return nil, fmt.Errorf("trace: mmap not supported on this platform")
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestMmapDecodeMatchesPread pins the mmap paging path: after
+// EnableMmap, every chunk decoded from the mapping — in random order,
+// across chunk sizes that do and do not align with the BTR1 8-event
+// groups — is bit-identical to the pread decode and to the in-memory
+// reference, and full replays still round-trip.
+func TestMmapDecodeMatchesPread(t *testing.T) {
+	const n = 5000
+	events := syntheticEvents(n, 42)
+	for _, chunkEvents := range []int{7, 100, 1024} {
+		sr, err := NewStreamRecorder("", chunkEvents, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range events {
+			sr.Branch(ev.PC, ev.Taken)
+		}
+		h, err := sr.Seal()
+		if err != nil {
+			t.Fatalf("chunk=%d: %v", chunkEvents, err)
+		}
+		if h.Mmapped() {
+			t.Fatalf("chunk=%d: handle mapped before EnableMmap", chunkEvents)
+		}
+
+		// pread decodes first, as the reference the mapping must match.
+		pread := make([]DecodedChunk, h.Chunks())
+		for k := range pread {
+			d, err := h.DecodeChunk(k)
+			if err != nil {
+				t.Fatalf("chunk=%d: pread DecodeChunk(%d): %v", chunkEvents, k, err)
+			}
+			pread[k] = d
+		}
+
+		if !mmapSupported {
+			if err := h.EnableMmap(); err == nil {
+				t.Fatalf("chunk=%d: EnableMmap succeeded on a platform without mmap", chunkEvents)
+			}
+			continue
+		}
+		if err := h.EnableMmap(); err != nil {
+			t.Fatalf("chunk=%d: EnableMmap: %v", chunkEvents, err)
+		}
+		if err := h.EnableMmap(); err != nil { // idempotent
+			t.Fatalf("chunk=%d: second EnableMmap: %v", chunkEvents, err)
+		}
+		if !h.Mmapped() {
+			t.Fatalf("chunk=%d: handle not mapped after EnableMmap", chunkEvents)
+		}
+
+		before := h.PageIns()
+		ref := recordSynthetic(n, chunkEvents, 42)
+		for _, k := range []int{h.Chunks() - 1, 0, h.Chunks() / 2, 1} {
+			want := chunkOf(ref, k)
+			got, err := h.DecodeChunk(k)
+			if err != nil {
+				t.Fatalf("chunk=%d: mapped DecodeChunk(%d): %v", chunkEvents, k, err)
+			}
+			if got.N != want.N || got.Base != want.Base ||
+				!reflect.DeepEqual(got.PCs, want.PCs) || !reflect.DeepEqual(got.Dirs, want.Dirs) {
+				t.Fatalf("chunk=%d: mapped DecodeChunk(%d) diverged from reference", chunkEvents, k)
+			}
+			p := pread[k]
+			if !reflect.DeepEqual(got.PCs, p.PCs) || !reflect.DeepEqual(got.Dirs, p.Dirs) {
+				t.Fatalf("chunk=%d: mapped DecodeChunk(%d) diverged from pread", chunkEvents, k)
+			}
+		}
+		if h.PageIns() == before {
+			t.Fatalf("chunk=%d: mapped decodes not counted as page-ins", chunkEvents)
+		}
+		if got := replayHandle(h); !reflect.DeepEqual(got, events) {
+			t.Fatalf("chunk=%d: mapped replay diverged", chunkEvents)
+		}
+	}
+}
+
+// TestMmapRequiresSpillBacking pins the soft-failure contract: a
+// memory-only handle cannot be mapped, and the error leaves the pread
+// path (and the recording) fully usable.
+func TestMmapRequiresSpillBacking(t *testing.T) {
+	tr := recordSynthetic(500, 64, 9)
+	h := NewResidentHandle(tr)
+	if err := h.EnableMmap(); err == nil {
+		t.Fatal("EnableMmap succeeded on a memory-only handle")
+	}
+	if h.Mmapped() {
+		t.Fatal("memory-only handle reports itself mapped")
+	}
+	if got := replayHandle(h); len(got) != 500 {
+		t.Fatalf("replay after failed EnableMmap returned %d events", len(got))
+	}
+}

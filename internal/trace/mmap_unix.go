@@ -1,0 +1,42 @@
+//go:build unix
+
+package trace
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform can map spill files.
+const mmapSupported = true
+
+// mmapRegion is a read-only mapping of a whole spill file. The mapping
+// is unmapped by a finalizer once the region (and thus the Handle
+// holding it) becomes unreachable, mirroring how anonymous spill temp
+// files are reclaimed through their descriptor.
+type mmapRegion struct {
+	data []byte
+}
+
+// mapFile maps size bytes of f read-only and shared. Zero-length files
+// cannot be mapped (mmap rejects them); callers gate on size > 0.
+func mapFile(f *os.File, size int64) (*mmapRegion, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("trace: cannot mmap empty spill file")
+	}
+	if size > math.MaxInt {
+		return nil, fmt.Errorf("trace: spill file too large to mmap (%d bytes)", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("trace: mmap spill file: %w", err)
+	}
+	mm := &mmapRegion{data: data}
+	runtime.SetFinalizer(mm, func(r *mmapRegion) {
+		syscall.Munmap(r.data)
+	})
+	return mm, nil
+}

@@ -138,30 +138,49 @@ scan:
 	return idx, events, c.off - int64(len(magic)) - groups, nil
 }
 
-// readChunkAt pages chunk k (n events) from an open spill file: one
-// ReadAt covering the chunk's group span, then a straight decode.
-// Buffers are reused when large enough. The skip fields of idx make
-// chunk boundaries independent of the format's 8-event groups.
-func readChunkAt(f *os.File, idx []chunkPos, fileSize int64, k, n, chunkEvents int, pcs, dirs []uint64) (DecodedChunk, error) {
-	start := idx[k].off
-	end := fileSize
+// chunkSpan computes the byte range of the spill file covering chunk
+// k's groups. The skip fields of idx make chunk boundaries independent
+// of the format's 8-event groups: when the next chunk starts mid-group,
+// this chunk's final events live past that chunk's group offset, so the
+// span extends by the mask byte plus at most skip full-width deltas.
+func chunkSpan(idx []chunkPos, fileSize int64, k int) (start, end int64) {
+	start = idx[k].off
+	end = fileSize
 	if k+1 < len(idx) {
 		end = idx[k+1].off
 		if s := int64(idx[k+1].skip); s > 0 {
-			// The next chunk starts mid-group, so our final events live
-			// past its group offset: the mask plus at most s full-width
-			// deltas bounds them.
 			end += 1 + s*binary.MaxVarintLen64
 			if end > fileSize {
 				end = fileSize
 			}
 		}
 	}
+	return start, end
+}
+
+// readChunkAt pages chunk k (n events) from an open spill file: one
+// ReadAt covering the chunk's group span, then a straight decode.
+// Buffers are reused when large enough.
+func readChunkAt(f *os.File, idx []chunkPos, fileSize int64, k, n, chunkEvents int, pcs, dirs []uint64) (DecodedChunk, error) {
+	start, end := chunkSpan(idx, fileSize, k)
 	buf := make([]byte, end-start)
 	if _, err := f.ReadAt(buf, start); err != nil {
 		return DecodedChunk{}, fmt.Errorf("trace: paging spill chunk %d: %w", k, err)
 	}
+	return decodeChunkBytes(buf, idx[k], k, n, chunkEvents, pcs, dirs)
+}
 
+// readChunkMapped is readChunkAt over an mmapped spill file: the same
+// decode, but straight out of the mapping — no read syscall, no copy of
+// the encoded bytes.
+func readChunkMapped(mm *mmapRegion, idx []chunkPos, fileSize int64, k, n, chunkEvents int, pcs, dirs []uint64) (DecodedChunk, error) {
+	start, end := chunkSpan(idx, fileSize, k)
+	return decodeChunkBytes(mm.data[start:end], idx[k], k, n, chunkEvents, pcs, dirs)
+}
+
+// decodeChunkBytes decodes chunk k (n events) from buf, which must hold
+// exactly the chunk's group span starting at pos.off.
+func decodeChunkBytes(buf []byte, pos chunkPos, k, n, chunkEvents int, pcs, dirs []uint64) (DecodedChunk, error) {
 	corrupt := func() (DecodedChunk, error) {
 		return DecodedChunk{}, fmt.Errorf("trace: corrupt spill chunk %d", k)
 	}
@@ -184,7 +203,7 @@ func readChunkAt(f *os.File, idx []chunkPos, fileSize int64, k, n, chunkEvents i
 	mask := buf[0]
 	p := 1
 	gi := 0
-	for s := 0; s < int(idx[k].skip); s++ {
+	for s := 0; s < int(pos.skip); s++ {
 		_, w := binary.Uvarint(buf[p:])
 		if w <= 0 {
 			return corrupt()
@@ -192,7 +211,7 @@ func readChunkAt(f *os.File, idx []chunkPos, fileSize int64, k, n, chunkEvents i
 		p += w
 		gi++
 	}
-	pc := idx[k].startPC
+	pc := pos.startPC
 	for i := 0; i < n; i++ {
 		if gi == groupSize {
 			if p >= len(buf) {
