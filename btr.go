@@ -39,6 +39,7 @@ import (
 	"btr/internal/core"
 	"btr/internal/experiments"
 	"btr/internal/rng"
+	"btr/internal/sched"
 	"btr/internal/sim"
 	"btr/internal/trace"
 	"btr/internal/workload"
@@ -115,6 +116,21 @@ type (
 
 	// Experiment regenerates one paper table or figure.
 	Experiment = experiments.Experiment
+
+	// Scheduler is the shared work-stealing task scheduler. Build one
+	// with NewScheduler, assign it to SimConfig.Sched, and any number of
+	// suite runs — sequential or concurrent — submit their task graphs
+	// to it as independently-awaited groups; Close retires the workers.
+	Scheduler = sched.Scheduler
+	// SchedulerStats is a snapshot of a Scheduler's lifetime counters
+	// (tasks executed, steals, injector submits, park episodes, queue
+	// depth).
+	SchedulerStats = sched.Stats
+
+	// ExperimentShared bundles the substrate experiment contexts share:
+	// the recorded-trace cache and its pass-1 profile sibling. One
+	// bundle can back any number of concurrent contexts.
+	ExperimentShared = experiments.Shared
 )
 
 // Predictor kinds.
@@ -193,6 +209,18 @@ func RunInput(spec WorkloadSpec, cfg SimConfig) *InputResult {
 // tasks; cfg.NoSched selects the legacy nested pools, bit-identically.
 func RunSuite(specs []WorkloadSpec, cfg SimConfig) *SuiteResult {
 	return sim.RunSuite(specs, cfg)
+}
+
+// NewScheduler builds a long-lived scheduler with n workers (0 =
+// GOMAXPROCS). Assign it to SimConfig.Sched to run many suites —
+// including concurrently — on one worker pool, and Close it when done.
+func NewScheduler(n int) *Scheduler { return sched.New(n) }
+
+// RunSuiteOn is RunSuite on an existing long-lived scheduler: the
+// suite's tasks run as one completion-tracked group, so concurrent
+// callers share s's workers without waiting on each other's work.
+func RunSuiteOn(s *Scheduler, specs []WorkloadSpec, cfg SimConfig) *SuiteResult {
+	return sim.RunSuiteOn(s, specs, cfg)
 }
 
 // DefaultTraceCacheBytes is the resident-column budget for callers with
@@ -296,6 +324,22 @@ type ExperimentContext struct {
 // NewExperimentContext builds a context over the full Table 1 suite.
 func NewExperimentContext(cfg SimConfig) *ExperimentContext {
 	return &ExperimentContext{ctx: experiments.NewContext(cfg)}
+}
+
+// NewExperimentShared builds an explicit cache bundle for
+// NewExperimentContextShared: a trace cache bounded to cacheBytes
+// (<= 0 = DefaultTraceCacheBytes) spilling to spillDir ("" = memory
+// only) plus a profile cache. Servers build one and hand it to every
+// session.
+func NewExperimentShared(cacheBytes int64, spillDir string) *ExperimentShared {
+	return experiments.NewShared(cacheBytes, spillDir)
+}
+
+// NewExperimentContextShared builds a context over an explicit shared
+// bundle — the multi-tenant shape: many cheap per-request contexts,
+// one substrate. A nil bundle selects the process-wide default.
+func NewExperimentContextShared(cfg SimConfig, sh *ExperimentShared) *ExperimentContext {
+	return &ExperimentContext{ctx: experiments.NewContextShared(cfg, sh)}
 }
 
 // Suite exposes the shared suite result (computing it on first use).

@@ -85,6 +85,15 @@ func main() {
 		}
 		cfg.Cache = btr.NewTraceCache(cacheBytes, *cachedir)
 	}
+	// Build the scheduler explicitly (rather than letting the suite run
+	// spin up a private one) so its counters survive the run and can be
+	// reported below. Only the scheduled engine uses it.
+	var pool *btr.Scheduler
+	if !cfg.NoSched && !cfg.NoRecord {
+		pool = btr.NewScheduler(*workers)
+		defer pool.Close()
+		cfg.Sched = pool
+	}
 	ctx := btr.NewExperimentContext(cfg)
 	start := time.Now()
 	for _, id := range ids {
@@ -122,6 +131,11 @@ func main() {
 			fmt.Printf("snapshots: count=%d bytes=%d peak=%d\n",
 				m.SnapshotCount, m.SnapshotBytes, m.SnapshotPeak)
 		}
+	}
+	if pool != nil {
+		s := pool.Stats()
+		fmt.Printf("sched: executed=%d steals=%d submits=%d parks=%d workers=%d\n",
+			s.Executed, s.Steals, s.InjectorSubmits, s.Parks, s.Workers)
 	}
 	if cfg.Cache != nil {
 		s := cfg.Cache.Stats()

@@ -25,53 +25,97 @@ type Context struct {
 	suite *sim.SuiteResult
 }
 
-// sharedCache is the process-wide recorded-trace cache. Every context
-// built without an explicit cache publishes and consults recordings
-// here, keyed by (workload name, spec fingerprint, scale, chunk size),
-// so a second context with matching config — an ablation rerun, a
-// confidence study, an interference sweep — replays the first context's
-// recordings instead of running any generator again. sharedProfiles is
-// its pass-1 sibling: the classified per-input result (sans Miss) and
-// attribution column, cached under the same keys, so that second
-// context also skips the profiling replay — a matching context performs
-// zero pass-1 work of any kind.
-var (
-	sharedCacheOnce sync.Once
-	sharedCacheInst *trace.Cache
-	sharedProfInst  *sim.ProfileCache
-)
-
-func sharedCache() (*trace.Cache, *sim.ProfileCache) {
-	sharedCacheOnce.Do(func() {
-		sharedCacheInst = trace.NewCache(trace.DefaultCacheBytes, "", workload.RegistryFingerprint())
-		sharedProfInst = sim.NewProfileCache()
-	})
-	return sharedCacheInst, sharedProfInst
+// Shared bundles the immutable-state substrate experiment contexts
+// draw on: the recorded-trace cache and its pass-1 profile sibling.
+// Recordings are keyed by (workload name, spec fingerprint, scale,
+// chunk size), so any two contexts over the same bundle with matching
+// config — an ablation rerun, a confidence study, a second brserve
+// request — replay the first run's recordings instead of running any
+// generator again, and the profile cache makes that second context skip
+// the profiling replay too: zero pass-1 work of any kind. Both caches
+// are safe for concurrent use, so one bundle can back any number of
+// concurrent sessions.
+type Shared struct {
+	// Traces is the recorded-trace cache (sim.Config.Cache).
+	Traces *trace.Cache
+	// Profiles is the classified pass-1 cache (sim.Config.Profiles).
+	Profiles *sim.ProfileCache
 }
 
-// NewContext builds a context over the full Table 1 suite. Unless the
-// config brings its own caches (or disables recording), recordings and
-// classified pass-1 results are shared with every other context in the
-// process via sharedCache — except under a memory budget
-// (cfg.MemBudget > 0), where a cache-less config gets a private trace
-// cache bounded to that budget instead: the shared cache's default
-// 1 GiB of resident columns would defeat the bound the caller just
-// asked for, and the profile cache (whose attribution columns are
-// O(trace) too) is tightened to the same number.
+// NewShared builds an explicit bundle: a trace cache bounded to
+// cacheBytes of resident columns (<= 0 means trace.DefaultCacheBytes)
+// spilling BTR1 files to spillDir ("" = memory only), plus a
+// default-budget profile cache. Servers construct one of these and
+// hand it to every session; CLIs usually go through SharedFor.
+func NewShared(cacheBytes int64, spillDir string) *Shared {
+	if cacheBytes <= 0 {
+		cacheBytes = trace.DefaultCacheBytes
+	}
+	return &Shared{
+		Traces:   trace.NewCache(cacheBytes, spillDir, workload.RegistryFingerprint()),
+		Profiles: sim.NewProfileCache(),
+	}
+}
+
+// sharedByDir memoises one bundle per spill directory. A single
+// package singleton used to serve every caller regardless of cache
+// directory, which silently pointed two contexts with different
+// -cachedir at one memory cache (and only one of the directories);
+// keying the registry by directory gives same-dir callers one shared
+// in-memory instance and different-dir callers genuinely distinct
+// caches.
+var (
+	sharedMu    sync.Mutex
+	sharedByDir = make(map[string]*Shared)
+)
+
+// SharedFor returns the process-wide bundle for spillDir (building it
+// with default budgets on first use). The empty string names the
+// memory-only default bundle every cache-less context shares.
+func SharedFor(spillDir string) *Shared {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	sh := sharedByDir[spillDir]
+	if sh == nil {
+		sh = NewShared(0, spillDir)
+		sharedByDir[spillDir] = sh
+	}
+	return sh
+}
+
+// NewContext builds a context over the full Table 1 suite, defaulting
+// to the process-wide shared bundle (SharedFor("")).
 func NewContext(cfg sim.Config) *Context {
+	return NewContextShared(cfg, nil)
+}
+
+// NewContextShared builds a context over the full Table 1 suite using
+// the given bundle for whichever of cfg.Cache / cfg.Profiles the config
+// does not bring itself. A nil bundle selects the process default —
+// except under a memory budget (cfg.MemBudget > 0), where a cache-less
+// config gets a private trace cache bounded to that budget instead: the
+// shared cache's default 1 GiB of resident columns would defeat the
+// bound the caller just asked for, and the profile cache (whose
+// attribution columns are O(trace) too) is tightened to the same
+// number. An explicit bundle is used as given — its owner (a server
+// applying per-request budgets over one substrate) has already chosen
+// the sizes. cfg.NoRecord disables caching entirely.
+func NewContextShared(cfg sim.Config, sh *Shared) *Context {
 	if !cfg.NoRecord {
-		if cfg.MemBudget > 0 && cfg.Cache == nil {
-			cfg.Cache = trace.NewCache(cfg.MemBudget, "", workload.RegistryFingerprint())
-			if cfg.Profiles == nil {
-				cfg.Profiles = sim.NewProfileCacheBytes(cfg.MemBudget)
+		if sh == nil {
+			if cfg.MemBudget > 0 && cfg.Cache == nil {
+				cfg.Cache = trace.NewCache(cfg.MemBudget, "", workload.RegistryFingerprint())
+				if cfg.Profiles == nil {
+					cfg.Profiles = sim.NewProfileCacheBytes(cfg.MemBudget)
+				}
 			}
+			sh = SharedFor("")
 		}
-		traces, profiles := sharedCache()
 		if cfg.Cache == nil {
-			cfg.Cache = traces
+			cfg.Cache = sh.Traces
 		}
 		if cfg.Profiles == nil {
-			cfg.Profiles = profiles
+			cfg.Profiles = sh.Profiles
 		}
 	}
 	return &Context{Cfg: cfg, Specs: workload.Suite()}

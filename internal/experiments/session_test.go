@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"btr/internal/sched"
+	"btr/internal/sim"
+	"btr/internal/trace"
+)
+
+// sessionRenderIDs are artifacts rendered straight from the shared
+// SuiteResult — the mixed read workload the concurrent sessions run.
+var sessionRenderIDs = []string{"T1", "T2", "S1", "F1", "F13", "F15"}
+
+// TestConcurrentSessionsShareSubstrate is the multi-tenant contract
+// behind brserve: N concurrent sessions — each a cheap per-request
+// Context over one explicitly injected Shared bundle and one long-lived
+// scheduler — produce results bit-identical to a sequential run on a
+// private substrate, and the generator-run counter proves the sessions
+// shared recordings instead of each re-running pass 1. Run under -race
+// this is also the data-race workout for Shared + Group.
+func TestConcurrentSessionsShareSubstrate(t *testing.T) {
+	var runs atomic.Int64
+	specs := countingSpecs(&runs)
+	cfg := sim.Config{Scale: 1, Workers: 4}
+
+	// Sequential baseline on a fully private substrate.
+	baseCfg := cfg
+	baseCfg.Cache = trace.NewCache(0, "", 0)
+	baseCfg.Profiles = sim.NewProfileCache()
+	baseCtx := &Context{Cfg: baseCfg, Specs: specs}
+	base := baseCtx.Suite()
+	if got := runs.Load(); got != int64(len(specs)) {
+		t.Fatalf("baseline ran generators %d times, want %d", got, len(specs))
+	}
+	want := make(map[string]string)
+	for _, id := range sessionRenderIDs {
+		e, err := Find(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := e.Run(baseCtx, &buf); err != nil {
+			t.Fatalf("baseline render %s: %v", id, err)
+		}
+		want[id] = buf.String()
+	}
+
+	// The shared substrate: one scheduler, one bundle, many sessions.
+	s := sched.New(4)
+	defer s.Close()
+	sh := NewShared(0, "")
+
+	session := func() *Context {
+		scfg := cfg
+		scfg.Sched = s
+		ctx := NewContextShared(scfg, sh)
+		ctx.Specs = specs
+		return ctx
+	}
+
+	// Warm sequentially so the concurrent phase is deterministic: a cold
+	// concurrent start may legitimately run a generator twice (both
+	// sessions miss, first writer wins).
+	warm := session().Suite()
+	warmRuns := runs.Load()
+	if warmRuns != int64(2*len(specs)) {
+		t.Fatalf("warm session ran generators to %d total, want %d", warmRuns, 2*len(specs))
+	}
+	if warm.Exec != base.Exec || warm.Miss != base.Miss {
+		t.Fatal("warm shared-substrate session diverged from private baseline")
+	}
+
+	const sessions = 8
+	results := make([]*sim.SuiteResult, sessions)
+	rendered := make([]string, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := session()
+			results[i] = ctx.Suite()
+			id := sessionRenderIDs[i%len(sessionRenderIDs)]
+			e, err := Find(id)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			var buf bytes.Buffer
+			if err := e.Run(ctx, &buf); err != nil {
+				t.Errorf("session %d render %s: %v", i, id, err)
+				return
+			}
+			rendered[i] = buf.String()
+		}()
+	}
+	wg.Wait()
+
+	for i := 0; i < sessions; i++ {
+		r := results[i]
+		if r == nil {
+			t.Fatalf("session %d produced no suite", i)
+		}
+		if len(r.Dropped) != 0 {
+			t.Fatalf("session %d dropped inputs: %v", i, r.Dropped)
+		}
+		if r.Exec != base.Exec || r.Miss != base.Miss {
+			t.Fatalf("session %d diverged from sequential baseline", i)
+		}
+		if id := sessionRenderIDs[i%len(sessionRenderIDs)]; rendered[i] != want[id] {
+			t.Fatalf("session %d rendered %s differently from baseline", i, id)
+		}
+	}
+	// The proof of sharing: eight more full sessions, zero new
+	// generator runs.
+	if got := runs.Load(); got != warmRuns {
+		t.Fatalf("concurrent sessions ran generators: %d total runs, want %d", got, warmRuns)
+	}
+	if st := sh.Traces.Stats(); st.Hits < int64(sessions*len(specs)) {
+		t.Fatalf("trace cache stats %+v: want >= %d hits", st, sessions*len(specs))
+	}
+}
+
+// TestSharedForKeysByDirectory pins the fix for the old package
+// singleton: same directory, same bundle; different directories,
+// genuinely different caches.
+func TestSharedForKeysByDirectory(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	a, b, def := SharedFor(dirA), SharedFor(dirB), SharedFor("")
+	if a == b || a == def || b == def {
+		t.Fatal("distinct cache directories returned a shared bundle")
+	}
+	if SharedFor(dirA) != a {
+		t.Fatal("repeated SharedFor(dir) did not memoise")
+	}
+	if SharedFor("") != def {
+		t.Fatal("default bundle not memoised")
+	}
+}

@@ -42,7 +42,10 @@ import (
 type Task func(w *Worker)
 
 // Scheduler owns a fixed set of workers draining one logical queue.
-// Submit tasks (from outside or from running tasks), then Wait.
+// Submit tasks (from outside or from running tasks), then Wait — or, for
+// a long-lived scheduler shared by many independent waits (a server),
+// submit through per-request Groups and Close the scheduler only at
+// shutdown.
 type Scheduler struct {
 	deques   []deque
 	injector injector
@@ -52,11 +55,47 @@ type Scheduler struct {
 	parked  atomic.Int32  // workers currently inside the condvar wait
 	quit    atomic.Bool
 
+	// Cheap cumulative counters behind Stats. One uncontended-ish atomic
+	// add per event; tasks are tens of microseconds, so the adds are
+	// noise even at full steal churn.
+	statExec    atomic.Int64 // tasks completed
+	statSteals  atomic.Int64 // successful steals
+	statSubmits atomic.Int64 // external (injector) submissions
+	statParks   atomic.Int64 // condvar sleeps entered
+
 	wg sync.WaitGroup
 
 	mu       sync.Mutex // guards cond and panicked only
 	cond     *sync.Cond
 	panicked []any
+}
+
+// Stats is a point-in-time snapshot of the scheduler's counters: the
+// cumulative task/steal/submit/park tallies plus the instantaneous
+// queue depth (tasks submitted but not yet finished) and worker count.
+// It is what a /metrics endpoint or a CLI summary line reports.
+type Stats struct {
+	Workers         int   `json:"workers"`
+	Executed        int64 `json:"executed"`
+	Steals          int64 `json:"steals"`
+	InjectorSubmits int64 `json:"injector_submits"`
+	Parks           int64 `json:"parks"`
+	Pending         int64 `json:"pending"`
+}
+
+// Stats returns a snapshot of the counters. Safe from any goroutine;
+// the fields are read independently, so the snapshot is approximate
+// under concurrent traffic (each counter is exact, their combination is
+// not a consistent cut).
+func (s *Scheduler) Stats() Stats {
+	return Stats{
+		Workers:         len(s.deques),
+		Executed:        s.statExec.Load(),
+		Steals:          s.statSteals.Load(),
+		InjectorSubmits: s.statSubmits.Load(),
+		Parks:           s.statParks.Load(),
+		Pending:         s.pending.Load(),
+	}
 }
 
 // Worker is the per-goroutine handle a Task receives. Submitting
@@ -66,6 +105,7 @@ type Scheduler struct {
 type Worker struct {
 	s   *Scheduler
 	id  int
+	g   *Group // group of the task currently executing, nil outside one
 	rnd uint64 // xorshift state for victim selection
 }
 
@@ -96,14 +136,21 @@ func (s *Scheduler) Submit(t Task) {
 	// Pending is incremented before the task is published so Wait can
 	// never observe a queued-but-uncounted task.
 	s.pending.Add(1)
+	s.statSubmits.Add(1)
 	s.injector.push(t)
 	s.notify()
 }
 
 // Submit enqueues a follow-up task onto this worker's own deque, where
 // it will be popped LIFO (or stolen FIFO by an idle worker). Must be
-// called from the task running on w.
+// called from the task running on w. A task submitted from inside a
+// Group's task joins that group: the fan-out a request's tasks produce
+// is tracked by the request's Group without the submitting code knowing
+// groups exist.
 func (w *Worker) Submit(t Task) {
+	if w.g != nil {
+		t = w.g.wrap(t)
+	}
 	s := w.s
 	s.pending.Add(1)
 	s.deques[w.id].pushBottom(t)
@@ -136,15 +183,29 @@ func (s *Scheduler) Wait() {
 		s.cond.Wait()
 	}
 	s.mu.Unlock()
-	s.quit.Store(true)
+	s.Close()
+	if len(s.panicked) > 0 {
+		panic(s.panicked[0])
+	}
+}
+
+// Close stops the workers. Unlike Wait it does not require the queue to
+// be drained first — workers finish every task they can still find
+// (including fan-out submitted while closing) and exit once idle, so
+// Close blocks until all queued work has run. It is the shutdown path
+// for a long-lived scheduler whose lifetime spans many Group waits;
+// Close is idempotent, and task panics captured at scheduler level are
+// not re-raised (Groups surface their own). The scheduler is spent
+// after Close.
+func (s *Scheduler) Close() {
+	if s.quit.Swap(true) {
+		return
+	}
 	s.stamp.Add(1) // abort in-flight park attempts
 	s.mu.Lock()
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.wg.Wait()
-	if len(s.panicked) > 0 {
-		panic(s.panicked[0])
-	}
 }
 
 func (s *Scheduler) run(id int) {
@@ -186,8 +247,11 @@ func (s *Scheduler) run(id int) {
 		}
 		s.mu.Lock()
 		s.parked.Add(1)
-		for s.stamp.Load() == stamp && !s.quit.Load() {
-			s.cond.Wait()
+		if s.stamp.Load() == stamp && !s.quit.Load() {
+			s.statParks.Add(1) // one park episode, however many spurious wakes
+			for s.stamp.Load() == stamp && !s.quit.Load() {
+				s.cond.Wait()
+			}
 		}
 		s.parked.Add(-1)
 		s.mu.Unlock()
@@ -206,6 +270,7 @@ func (s *Scheduler) exec(w *Worker, t Task) {
 			s.panicked = append(s.panicked, r)
 			s.mu.Unlock()
 		}
+		s.statExec.Add(1)
 		if s.pending.Add(-1) == 0 {
 			s.mu.Lock()
 			s.cond.Broadcast()
@@ -235,6 +300,7 @@ func (s *Scheduler) steal(w *Worker) (Task, bool) {
 			continue
 		}
 		if t, retry := s.deques[v].stealTop(); t != nil {
+			s.statSteals.Add(1)
 			return t, false
 		} else if retry {
 			sawContention = true

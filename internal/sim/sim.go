@@ -25,6 +25,7 @@ import (
 
 	"btr/internal/bpred"
 	"btr/internal/core"
+	"btr/internal/sched"
 	"btr/internal/stats"
 	"btr/internal/trace"
 	"btr/internal/workload"
@@ -143,6 +144,15 @@ type Config struct {
 	// (or platforms without mmap) silently keep the pread path. The
 	// value is result-invisible.
 	MmapSpill bool
+	// Sched, when non-nil, is a long-lived shared scheduler the suite
+	// run submits onto as one completion-tracked task group instead of
+	// building (and stopping) a private scheduler: concurrent RunSuite
+	// calls — brserve sessions — interleave their task grids over one
+	// worker pool, steal-balancing across requests. The scheduler is
+	// left running for the next caller, and Workers is ignored in
+	// favour of its worker count. Honoured by the scheduled engine
+	// only; NoSched and NoRecord fall back to private pools as before.
+	Sched *sched.Scheduler
 	// DecodedBudget bounds the decoded-chunk pool the scheduled sweep
 	// checks chunks out of: 0 retains every decoded column for the
 	// duration of the input's sweep (the pre-streaming behaviour), > 0

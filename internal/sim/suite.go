@@ -100,21 +100,45 @@ func (c Config) suiteWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// runSuiteScheduled is the global-scheduler engine.
+// runSuiteScheduled is the global-scheduler engine. With cfg.Sched set
+// the suite rides that shared scheduler; otherwise a private one is
+// built and stopped around the run.
 func runSuiteScheduled(specs []workload.Spec, cfg Config) *SuiteResult {
-	// Workers are NOT clamped to len(specs): the sweep fan-out gives
-	// every core work even for a single-input suite.
-	workers := cfg.suiteWorkers()
-	s := sched.New(workers)
+	s := cfg.Sched
+	if s == nil {
+		// Workers are NOT clamped to len(specs): the sweep fan-out gives
+		// every core work even for a single-input suite.
+		s = sched.New(cfg.suiteWorkers())
+		defer s.Close()
+	}
+	return RunSuiteOn(s, specs, cfg)
+}
+
+// RunSuiteOn runs the scheduled engine's task grid for specs as one
+// completion-tracked group on s, which may be shared by any number of
+// concurrent suite runs: each call gets a private barrier (and private
+// panic propagation) while every call's profile, attribution and sweep
+// tasks steal-balance over the same workers. The scheduler is left
+// running. Configs selecting the pool engines (NoSched, NoRecord) have
+// no schedulable task grid and run their private pools instead, s
+// untouched. Results are bit-identical to RunSuite for every engine and
+// any number of concurrent callers — scheduling order is
+// result-invisible by construction.
+func RunSuiteOn(s *sched.Scheduler, specs []workload.Spec, cfg Config) *SuiteResult {
+	if cfg.NoSched || cfg.NoRecord {
+		return runSuitePool(specs, cfg)
+	}
+	workers := s.Workers()
+	g := s.NewGroup()
 	results := make([]*InputResult, len(specs))
 	errs := make([]error, len(specs))
 	for i := range specs {
 		i := i
-		s.Submit(func(w *sched.Worker) {
+		g.Submit(func(w *sched.Worker) {
 			profileTask(w, specs[i], cfg, workers, &results[i], &errs[i])
 		})
 	}
-	s.Wait()
+	g.Wait()
 	return aggregate(results, specs, errs, cfg)
 }
 
