@@ -5,7 +5,7 @@
 //	brexp [-scale 1.0] [-workers N] [-out results] [-run all|T1,F13,...]
 //	      [-sched=false] [-chunktasks N] [-cachedir dir]
 //	      [-membudget bytes] [-decodedbudget bytes]
-//	      [-snapshotranges N] [-mmap]
+//	      [-snapshotranges N] [-mmap] [-readahead N]
 //
 // Each experiment is written to <out>/<id>.txt; -list shows the catalog.
 package main
@@ -32,6 +32,7 @@ func main() {
 	memBudget := flag.Int64("membudget", 0, "stream each recording to a BTR1 spill file during pass 1, keeping at most about this many resident bytes per input; replays page the rest back in (0 = retain recordings whole)")
 	decodedBudget := flag.Int64("decodedbudget", 0, "byte budget for each input's decoded-chunk pool during the bank sweep; LRU columns past it are re-decoded on the next visit (0 = retain all decoded columns, negative = retain none)")
 	snapshotRanges := flag.Int("snapshotranges", 0, "split every bank slot's sweep into this many checkpointed chunk ranges that run concurrently from restored predictor snapshots; breaks the 34-slot parallelism ceiling when cores outnumber slots (0 = chained sweep, the default; results are bit-identical either way)")
+	readAhead := flag.Int("readahead", 0, "prefetch this many chunks ahead of every sweep cursor: spill paging and BTR1 decode overlap with predictor compute, with prefetched columns charged against -decodedbudget (0 = no read-ahead; results are bit-identical either way)")
 	mmapSpill := flag.Bool("mmap", false, "mmap spill-backed recordings and decode paged chunks from the mapping instead of pread (needs -membudget or -cachedir to produce spill files; falls back silently where unsupported)")
 	cachedir := flag.String("cachedir", "", "spill recorded traces to BTR1 files here and reuse them across runs (filenames carry the workload-registry fingerprint, so a dir written by older workloads self-invalidates)")
 	out := flag.String("out", "results", "output directory")
@@ -75,6 +76,7 @@ func main() {
 		DecodedBudget:  *decodedBudget,
 		SnapshotRanges: *snapshotRanges,
 		MmapSpill:      *mmapSpill,
+		ReadAhead:      *readAhead,
 	}
 	if *cachedir != "" {
 		// Under a memory budget the cache's resident columns are bounded
@@ -125,8 +127,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "brexp: dropped input %v\n", d)
 	}
 	if m := suite.Mem; m.RecordedBytes > 0 {
-		fmt.Printf("mem: recorded_bytes=%d resident_peak=%d page_ins=%d pool_hits=%d redecodes=%d pool_evicted=%d decoded_peak=%d\n",
-			m.RecordedBytes, m.ResidentPeak, m.PageIns, m.DecodedHits, m.DecodedRedecodes, m.DecodedEvicted, m.DecodedPeak)
+		fmt.Printf("mem: recorded_bytes=%d resident_peak=%d page_ins=%d pool_hits=%d redecodes=%d pool_evicted=%d decoded_peak=%d prefetch_hits=%d prefetch_wasted=%d prefetch_inflight_peak=%d\n",
+			m.RecordedBytes, m.ResidentPeak, m.PageIns, m.DecodedHits, m.DecodedRedecodes, m.DecodedEvicted, m.DecodedPeak,
+			m.PrefetchHits, m.PrefetchWasted, m.PrefetchInFlightPeak)
 		if m.SnapshotCount > 0 {
 			fmt.Printf("snapshots: count=%d bytes=%d peak=%d\n",
 				m.SnapshotCount, m.SnapshotBytes, m.SnapshotPeak)

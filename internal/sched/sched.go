@@ -157,6 +157,26 @@ func (w *Worker) Submit(t Task) {
 	s.notify()
 }
 
+// SubmitFair enqueues a follow-up task into the shared injector FIFO
+// instead of the worker's own deque, keeping the submitter's group.
+// Where Submit makes the continuation the worker's very next task
+// (depth-first: a chain of self-resubmitting tasks runs to completion
+// before its siblings start), SubmitFair runs it after everything
+// already queued, so sibling chains advance breadth-first, in rough
+// lockstep. Task chains that share cached state — sweep chains over
+// one decoded-chunk pool — use this to convoy: the chunk one chain
+// just paid to decode is still resident when its siblings arrive.
+func (w *Worker) SubmitFair(t Task) {
+	if w.g != nil {
+		t = w.g.wrap(t)
+	}
+	s := w.s
+	s.pending.Add(1)
+	s.statSubmits.Add(1)
+	s.injector.push(t)
+	s.notify()
+}
+
 // notify publishes "new work exists" to parking workers. The stamp bump
 // must follow the task's publication (it does: both are seq-cst atomics
 // in program order) and precede the parked check; see run for the other

@@ -118,10 +118,12 @@ type Request struct {
 	// (sim.Config.MemBudget / DecodedBudget).
 	MemBudget     int64 `json:"membudget,omitempty"`
 	DecodedBudget int64 `json:"decodedbudget,omitempty"`
-	// ChunkTasks / SnapshotRanges / Window tune the sweep exactly like
-	// the brexp flags of the same names; all result-invisible.
+	// ChunkTasks / SnapshotRanges / ReadAhead / Window tune the sweep
+	// exactly like the brexp flags of the same names; all
+	// result-invisible.
 	ChunkTasks     int `json:"chunktasks,omitempty"`
 	SnapshotRanges int `json:"snapshotranges,omitempty"`
+	ReadAhead      int `json:"readahead,omitempty"`
 	Window         int `json:"window,omitempty"`
 }
 
@@ -318,6 +320,7 @@ func (s *Server) resolve(req *Request) (ids []string, specs []workload.Spec, cfg
 		MemBudget:          req.MemBudget,
 		DecodedBudget:      req.DecodedBudget,
 		SnapshotRanges:     req.SnapshotRanges,
+		ReadAhead:          req.ReadAhead,
 		Sched:              s.sched,
 	}
 	return ids, specs, cfg, nil

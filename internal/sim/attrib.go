@@ -71,7 +71,7 @@ func newAttribGrid(cfg Config, spec workload.Spec, res *InputResult, workers int
 		res:      res,
 		classIdx: make([]uint8, res.Recorded.Events()),
 		lookup:   denseClasses(res.Classes),
-		pool:     trace.NewDecodedPool(res.Recorded, cfg.DecodedBudget),
+		pool:     cfg.newDecodedPool(res.Recorded),
 		stride:   stride,
 		parts:    make([]attribPart, ranges),
 		out:      out,
@@ -103,6 +103,9 @@ func (g *attribGrid) runPart(w *sched.Worker, r int) {
 		if rec := recover(); rec != nil {
 			if g.failed.CompareAndSwap(false, true) {
 				*g.errOut = fmt.Errorf("attribution failed: %v", rec)
+				// The sweep never launches, so finalizeMem never stops the
+				// prefetcher; the poisoning task does it here.
+				g.pool.ClosePrefetch()
 			}
 		}
 	}()
@@ -117,7 +120,22 @@ func (g *attribGrid) runPart(w *sched.Worker, r int) {
 	if end > nchunks || end < 0 {
 		end = nchunks
 	}
+	pf := r*g.stride + 1
 	for k := r * g.stride; k < end; k++ {
+		if g.cfg.ReadAhead > 0 {
+			// Hint the range's upcoming window; ranges are disjoint, so
+			// hints stop at the range boundary.
+			hi := k + 1 + g.cfg.ReadAhead
+			if hi > end {
+				hi = end
+			}
+			if pf <= k {
+				pf = k + 1
+			}
+			for ; pf < hi; pf++ {
+				g.pool.Prefetch(pf)
+			}
+		}
 		d := g.pool.Checkout(k)
 		for i := 0; i < d.N; i++ {
 			ci := g.lookup.classOf(d.PCs[i], g.res.Classes)

@@ -161,6 +161,30 @@ type Config struct {
 	// and < 0 caches nothing beyond the chunks currently checked out.
 	// Like MemBudget, the value is result-invisible.
 	DecodedBudget int64
+	// ReadAhead, when > 0, overlaps spill I/O and BTR1 decode with
+	// predictor compute: every sweep chain (chained, checkpointed, and
+	// the attribution pre-pass) hints its next ReadAhead chunks to the
+	// decoded pool's background prefetcher, which decodes them —
+	// coalescing adjacent spill reads into one ReadAt — before the
+	// chain's cursor arrives. Prefetched columns are charged against
+	// DecodedBudget and evicted LRU like any other, so peak decoded
+	// memory stays O(budget). The value is result-invisible
+	// (TestStreamedMatrixMatchesRetained); honoured by the scheduled
+	// chunked engines only — NoSched, NoRecord, ChunkTasks < 0 and
+	// cache-nothing pools (DecodedBudget < 0) ignore it.
+	ReadAhead int
+}
+
+// newDecodedPool builds a sweep's decoded-chunk pool over h, attaching
+// the background prefetcher when ReadAhead asks for one. Pools built
+// here are shut down by finalizeMem on publish, or by the owning grid's
+// poison path on failure.
+func (c Config) newDecodedPool(h *trace.Handle) *trace.DecodedPool {
+	p := trace.NewDecodedPool(h, c.DecodedBudget)
+	if c.ReadAhead > 0 {
+		p.EnablePrefetch(0, 0)
+	}
+	return p
 }
 
 // cacheKey is the recording's identity for Config.Cache and
@@ -320,6 +344,14 @@ type MemStats struct {
 	DecodedRedecodes int64
 	DecodedEvicted   int64
 	DecodedPeak      int64
+	// PrefetchHits / PrefetchWasted / PrefetchInFlightPeak describe the
+	// read-ahead pipeline (Config.ReadAhead): checkouts served by a
+	// prefetched column, prefetched columns evicted before any checkout
+	// touched them, and the high-water mark of concurrent decodes —
+	// the overlap depth actually achieved. Zero without read-ahead.
+	PrefetchHits         int64
+	PrefetchWasted       int64
+	PrefetchInFlightPeak int64
 	// SnapshotCount / SnapshotBytes / SnapshotPeak describe the
 	// checkpointed sweep's predictor snapshots (Config.SnapshotRanges):
 	// how many were taken, their cumulative size, and the high-water
@@ -338,8 +370,13 @@ func (m *MemStats) Add(other *MemStats) {
 	m.DecodedHits += other.DecodedHits
 	m.DecodedRedecodes += other.DecodedRedecodes
 	m.DecodedEvicted += other.DecodedEvicted
+	m.PrefetchHits += other.PrefetchHits
+	m.PrefetchWasted += other.PrefetchWasted
 	m.SnapshotCount += other.SnapshotCount
 	m.SnapshotBytes += other.SnapshotBytes
+	if other.PrefetchInFlightPeak > m.PrefetchInFlightPeak {
+		m.PrefetchInFlightPeak = other.PrefetchInFlightPeak
+	}
 	if other.ResidentPeak > m.ResidentPeak {
 		m.ResidentPeak = other.ResidentPeak
 	}
@@ -406,11 +443,16 @@ func RunInput(spec workload.Spec, cfg Config) *InputResult {
 }
 
 // finalizeMem snapshots the input's memory-shape counters off its
-// recording handle and (when the sweep used one) decoded pool.
+// recording handle and (when the sweep used one) decoded pool. It also
+// shuts the pool's prefetcher down — the sweep is over — so every
+// prefetch install is accounted before the stats are read.
 func finalizeMem(res *InputResult, pool *trace.DecodedPool) {
 	h := res.Recorded
 	if h == nil {
 		return
+	}
+	if pool != nil {
+		pool.ClosePrefetch()
 	}
 	res.Mem.RecordedBytes = h.EncodedBytes()
 	res.Mem.ResidentPeak = h.ResidentPeak()
@@ -421,6 +463,9 @@ func finalizeMem(res *InputResult, pool *trace.DecodedPool) {
 		res.Mem.DecodedRedecodes = s.Redecodes
 		res.Mem.DecodedEvicted = s.Evicted
 		res.Mem.DecodedPeak = s.HighWater
+		res.Mem.PrefetchHits = s.PrefetchHits
+		res.Mem.PrefetchWasted = s.PrefetchWasted
+		res.Mem.PrefetchInFlightPeak = s.InFlightPeak
 	}
 }
 

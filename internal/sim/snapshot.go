@@ -67,6 +67,7 @@ type snapshotSweep struct {
 	classIdx []uint8
 	pool     *trace.DecodedPool
 	nchunks  int
+	ra       int // read-ahead depth (Config.ReadAhead); 0 = no hints
 	bounds   []int
 	slots    []snapSlot
 	pending  atomic.Int32
@@ -101,6 +102,7 @@ func startSnapshotSweep(w *sched.Worker, cfg Config, ranges int, res *InputResul
 		classIdx: classIdx,
 		pool:     pool,
 		nchunks:  res.Recorded.Chunks(),
+		ra:       cfg.ReadAhead,
 		bounds:   snapshotBounds(res.Recorded.Chunks(), ranges),
 		out:      out,
 		errOut:   errOut,
@@ -141,7 +143,29 @@ func (ss *snapshotSweep) guard() {
 	if r := recover(); r != nil {
 		if ss.failed.CompareAndSwap(false, true) {
 			*ss.errOut = fmt.Errorf("snapshot sweep failed: %v", r)
+			// The grid never publishes (finalizeMem never runs), so the
+			// poisoning task stops the prefetch workers itself.
+			ss.pool.ClosePrefetch()
 		}
+	}
+}
+
+// prefetchWindow hints the chunks (k, min(k+1+ra, end)) that have not
+// been hinted yet, advancing *pf. Each chain keeps a private cursor, so
+// every chunk is hinted at most once per chain.
+func (ss *snapshotSweep) prefetchWindow(pf *int, k, end int) {
+	if ss.ra <= 0 {
+		return
+	}
+	hi := k + 1 + ss.ra
+	if hi > end {
+		hi = end
+	}
+	if *pf <= k {
+		*pf = k + 1
+	}
+	for ; *pf < hi; *pf++ {
+		ss.pool.Prefetch(*pf)
 	}
 }
 
@@ -156,7 +180,9 @@ func (ss *snapshotSweep) warmup(w *sched.Worker, slot, r int) {
 		return
 	}
 	s := &ss.slots[slot]
+	pf := ss.bounds[r] + 1
 	for k := ss.bounds[r]; k < ss.bounds[r+1]; k++ {
+		ss.prefetchWindow(&pf, k, ss.bounds[r+1])
 		d := ss.pool.Checkout(k)
 		s.warm.UpdateChunk(d.PCs, d.Dirs, d.N)
 		ss.pool.Release(k)
@@ -204,7 +230,9 @@ func (ss *snapshotSweep) sweepRange(w *sched.Worker, slot, r int) {
 	var cell missCell
 	var wrong [(trace.DefaultChunkEvents + 63) / 64]uint64
 	scratch := wrong[:]
+	pf := ss.bounds[r] + 1
 	for k := ss.bounds[r]; k < ss.bounds[r+1]; k++ {
+		ss.prefetchWindow(&pf, k, ss.bounds[r+1])
 		d := ss.pool.Checkout(k)
 		if words := (d.N + 63) / 64; words > len(scratch) {
 			scratch = make([]uint64, words)

@@ -40,12 +40,20 @@ func TestStreamedMatrixMatchesRetained(t *testing.T) {
 		decoded int64 // Config.DecodedBudget
 		ranges  int   // Config.SnapshotRanges
 		mmap    bool  // Config.MmapSpill
+		ra      int   // Config.ReadAhead
 	}{
-		{"spill+pool", 4096, 6000, 0, false},
-		{"spill+cache-nothing", 4096, -1, 0, false},
-		{"resident+pool", 0, 6000, 0, false},
-		{"spill+pool+snapshot", 4096, 6000, 3, false},
-		{"spill+pool+mmap", 4096, 6000, 0, true},
+		{"spill+pool", 4096, 6000, 0, false, 0},
+		{"spill+cache-nothing", 4096, -1, 0, false, 0},
+		{"resident+pool", 0, 6000, 0, false, 0},
+		{"spill+pool+snapshot", 4096, 6000, 3, false, 0},
+		{"spill+pool+mmap", 4096, 6000, 0, true, 0},
+		// Read-ahead legs get a pool that can hold the windows (still
+		// well under the decoded whole, so eviction stays exercised):
+		// prefetching into a pool drowning in demand churn is all waste.
+		{"spill+pool+ra2", 4096, 20000, 0, false, 2},
+		{"spill+pool+ra8", 4096, 20000, 0, false, 8},
+		{"spill+pool+snapshot+ra", 4096, 20000, 3, false, 4},
+		{"resident+pool+ra", 0, 20000, 0, false, 2},
 	}
 	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
 		for _, b := range budgets {
@@ -55,6 +63,7 @@ func TestStreamedMatrixMatchesRetained(t *testing.T) {
 			cfg.DecodedBudget = b.decoded
 			cfg.SnapshotRanges = b.ranges
 			cfg.MmapSpill = b.mmap
+			cfg.ReadAhead = b.ra
 			label := fmt.Sprintf("%s/workers=%d", b.name, workers)
 			got := RunSuite(specs, cfg)
 			assertSuitesEqual(t, label, retained, got)
@@ -86,6 +95,22 @@ func TestStreamedMatrixMatchesRetained(t *testing.T) {
 						t.Fatalf("%s/%s: MmapSpill run paged via pread", label, r.Spec.Name())
 					}
 				}
+			}
+			if b.ra > 0 {
+				if m.PrefetchInFlightPeak == 0 {
+					t.Fatalf("%s: read-ahead run recorded no in-flight decodes (mem %+v)", label, m)
+				}
+				// Spill-backed legs must actually have prefetched: warm
+				// installs (and waits on in-flight prefetch decodes) count
+				// as prefetch hits. Demand page-ins block in ReadAt, which
+				// hands the prefetch workers the CPU even at GOMAXPROCS=1;
+				// fully-resident legs give no such guarantee on one core,
+				// so only bit-identity is asserted for them.
+				if b.mem > 0 && m.PrefetchHits == 0 {
+					t.Fatalf("%s: read-ahead run recorded no prefetch hits (mem %+v)", label, m)
+				}
+			} else if m.PrefetchHits != 0 || m.PrefetchWasted != 0 {
+				t.Fatalf("%s: non-read-ahead run recorded prefetch traffic (mem %+v)", label, m)
 			}
 		}
 	}

@@ -173,7 +173,7 @@ func profileTask(w *sched.Worker, spec workload.Spec, cfg Config, workers int, o
 	}
 	if res, classIdx, ok := profileCached(spec, cfg); ok {
 		// Cached profile: no generator, no attribution — straight to sweep.
-		pool := trace.NewDecodedPool(res.Recorded, cfg.DecodedBudget)
+		pool := cfg.newDecodedPool(res.Recorded)
 		startSweep(w, cfg, res, classIdx, pool, out, errOut)
 		return
 	}
@@ -198,7 +198,7 @@ func profileTask(w *sched.Worker, spec workload.Spec, cfg Config, workers int, o
 // range (hot predictor tables), while thieves peel whole un-started
 // chains FIFO.
 func startChunkSweep(w *sched.Worker, cfg Config, res *InputResult, classIdx []uint8, pool *trace.DecodedPool, out **InputResult, errOut *error) {
-	cs := newChunkSweep(cfg.chunkTasks(), res, classIdx, pool, out, errOut)
+	cs := newChunkSweep(cfg, res, classIdx, pool, out, errOut)
 	if cs.live.Load() == 0 {
 		// Empty recording: nothing to sweep, publish immediately.
 		finalizeMem(res, pool)
@@ -253,6 +253,7 @@ type chunkSweep struct {
 	pool     *trace.DecodedPool
 	nchunks  int
 	stride   int // chunks per range task
+	ra       int // read-ahead depth (Config.ReadAhead); 0 = no hints
 	chains   []sweepChain
 	live     atomic.Int32 // chains not yet exhausted
 	failed   atomic.Bool  // poison: a chain hit a paging failure
@@ -261,31 +262,33 @@ type chunkSweep struct {
 }
 
 // sweepChain is one bank slot's sequential march over the chunk axis.
-// next and partials are only touched by the chain's current task, and
-// the scheduler orders task (slot, r) before (slot, r+1) by
+// next, pf and partials are only touched by the chain's current task,
+// and the scheduler orders task (slot, r) before (slot, r+1) by
 // construction, so the chain needs no locking.
 type sweepChain struct {
 	slot     int
 	p        chunkSweeper
 	next     int        // next chunk index to sweep
+	pf       int        // first chunk index not yet hinted to the prefetcher
 	partials []missCell // one per completed range, in range order
 }
 
-func newChunkSweep(stride int, res *InputResult, classIdx []uint8, pool *trace.DecodedPool, out **InputResult, errOut *error) *chunkSweep {
+func newChunkSweep(cfg Config, res *InputResult, classIdx []uint8, pool *trace.DecodedPool, out **InputResult, errOut *error) *chunkSweep {
 	nchunks := res.Recorded.Chunks()
 	cs := &chunkSweep{
 		res:      res,
 		classIdx: classIdx,
 		pool:     pool,
 		nchunks:  nchunks,
-		stride:   stride,
+		stride:   cfg.chunkTasks(),
+		ra:       cfg.ReadAhead,
 		chains:   make([]sweepChain, numBankSlots),
 		out:      out,
 		errOut:   errOut,
 	}
 	// Capacity hint only; over-wide strides still append exactly one
 	// partial per completed range.
-	ranges := nchunks/stride + 1
+	ranges := nchunks/cs.stride + 1
 	if nchunks > 0 {
 		cs.live.Store(int32(numBankSlots))
 	}
@@ -308,6 +311,9 @@ func (cs *chunkSweep) advance(w *sched.Worker, ci int) {
 		if r := recover(); r != nil {
 			if cs.failed.CompareAndSwap(false, true) {
 				*cs.errOut = fmt.Errorf("bank sweep failed: %v", r)
+				// The grid never publishes (finalizeMem never runs), so
+				// the poisoning task stops the prefetch workers itself.
+				cs.pool.ClosePrefetch()
 			}
 		}
 	}()
@@ -323,6 +329,21 @@ func (cs *chunkSweep) advance(w *sched.Worker, ci int) {
 	var wrong [(trace.DefaultChunkEvents + 63) / 64]uint64
 	scratch := wrong[:]
 	for k := ch.next; k < end; k++ {
+		if cs.ra > 0 {
+			// Hint the chain's upcoming window (across range boundaries —
+			// the chain marches the whole chunk axis) so paging and decode
+			// run ahead of the cursor.
+			hi := k + 1 + cs.ra
+			if hi > cs.nchunks {
+				hi = cs.nchunks
+			}
+			if ch.pf <= k {
+				ch.pf = k + 1
+			}
+			for ; ch.pf < hi; ch.pf++ {
+				cs.pool.Prefetch(ch.pf)
+			}
+		}
 		d := cs.pool.Checkout(k)
 		if words := (d.N + 63) / 64; words > len(scratch) {
 			scratch = make([]uint64, words)
@@ -333,7 +354,16 @@ func (cs *chunkSweep) advance(w *sched.Worker, ci int) {
 	ch.partials = append(ch.partials, cell)
 	ch.next = end
 	if end < cs.nchunks {
-		w.Submit(func(w *sched.Worker) { cs.advance(w, ci) })
+		if cs.ra > 0 {
+			// Read-ahead mode convoys the chains: breadth-first
+			// continuations keep all the slots' cursors clustered, so a
+			// transit chunk decoded (or prefetched) for one chain is
+			// still resident when the other 33 arrive, instead of every
+			// chain re-paying the decode on its own depth-first march.
+			w.SubmitFair(func(w *sched.Worker) { cs.advance(w, ci) })
+		} else {
+			w.Submit(func(w *sched.Worker) { cs.advance(w, ci) })
+		}
 		return
 	}
 	if cs.live.Add(-1) == 0 {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 )
 
 // Spill-file machinery for out-of-core recordings: BTR1 files double as
@@ -158,12 +159,32 @@ func chunkSpan(idx []chunkPos, fileSize int64, k int) (start, end int64) {
 	return start, end
 }
 
+// pageBufPool recycles the scratch buffers spill page-ins read encoded
+// group spans into. The decode copies everything it needs into the
+// chunk's columns, so the buffer never outlives the call and
+// steady-state streaming does zero per-page-in allocations.
+var pageBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// getPageBuf returns a pooled scratch buffer of length n.
+func getPageBuf(n int) *[]byte {
+	bp := pageBufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+func putPageBuf(bp *[]byte) { pageBufPool.Put(bp) }
+
 // readChunkAt pages chunk k (n events) from an open spill file: one
 // ReadAt covering the chunk's group span, then a straight decode.
 // Buffers are reused when large enough.
 func readChunkAt(f *os.File, idx []chunkPos, fileSize int64, k, n, chunkEvents int, pcs, dirs []uint64) (DecodedChunk, error) {
 	start, end := chunkSpan(idx, fileSize, k)
-	buf := make([]byte, end-start)
+	bp := getPageBuf(int(end - start))
+	defer putPageBuf(bp)
+	buf := *bp
 	if _, err := f.ReadAt(buf, start); err != nil {
 		return DecodedChunk{}, fmt.Errorf("trace: paging spill chunk %d: %w", k, err)
 	}
@@ -179,7 +200,8 @@ func readChunkMapped(mm *mmapRegion, idx []chunkPos, fileSize int64, k, n, chunk
 }
 
 // decodeChunkBytes decodes chunk k (n events) from buf, which must hold
-// exactly the chunk's group span starting at pos.off.
+// at least the chunk's group span starting at pos.off (the decode stops
+// after n events, so trailing bytes beyond the span are ignored).
 func decodeChunkBytes(buf []byte, pos chunkPos, k, n, chunkEvents int, pcs, dirs []uint64) (DecodedChunk, error) {
 	corrupt := func() (DecodedChunk, error) {
 		return DecodedChunk{}, fmt.Errorf("trace: corrupt spill chunk %d", k)
