@@ -126,6 +126,15 @@ type (
 	// (tasks executed, steals, injector submits, park episodes, queue
 	// depth).
 	SchedulerStats = sched.Stats
+	// TaskGroup tracks (and can cancel) one related set of tasks on a
+	// long-lived Scheduler — one suite run, one server request. Build
+	// with Scheduler.NewGroup; Cancel unwinds the run cooperatively at
+	// task boundaries, dropping unfinished inputs with ErrCanceled.
+	TaskGroup = sched.Group
+	// SpillVerifyReport is the result of auditing one spill file
+	// (VerifySpillFile): format, chunk/event counts, and the first
+	// failure if any.
+	SpillVerifyReport = trace.VerifyReport
 
 	// ExperimentShared bundles the substrate experiment contexts share:
 	// the recorded-trace cache and its pass-1 profile sibling. One
@@ -222,6 +231,29 @@ func NewScheduler(n int) *Scheduler { return sched.New(n) }
 func RunSuiteOn(s *Scheduler, specs []WorkloadSpec, cfg SimConfig) *SuiteResult {
 	return sim.RunSuiteOn(s, specs, cfg)
 }
+
+// RunSuiteGroup is RunSuiteOn with a caller-owned group, so the run can
+// be canceled mid-flight (TaskGroup.Cancel): canceled inputs land in
+// SuiteResult.Dropped with ErrCanceled and the call returns once the
+// queued tasks drain. It is also where corrupt cached spill files are
+// recovered: an input failing with ErrCorruptSpill has its cache entry
+// quarantined and is re-recorded from the generator once,
+// bit-identically.
+func RunSuiteGroup(g *TaskGroup, specs []WorkloadSpec, cfg SimConfig) *SuiteResult {
+	return sim.RunSuiteGroup(g, specs, cfg)
+}
+
+// ErrCanceled is the cause recorded for inputs dropped by a canceled
+// TaskGroup. Test with errors.Is.
+var ErrCanceled = sim.ErrCanceled
+
+// ErrCorruptSpill matches (errors.Is) every spill-integrity failure: a
+// chunk checksum mismatch, a truncated file, undecodable chunk bytes.
+var ErrCorruptSpill = trace.ErrCorruptSpill
+
+// VerifySpillFile audits one spill file — header, frame structure,
+// event counts, and (BTR2) every chunk's checksum and decodability.
+func VerifySpillFile(path string) SpillVerifyReport { return trace.VerifySpill(path) }
 
 // DefaultTraceCacheBytes is the resident-column budget for callers with
 // no better number (1 GiB).
@@ -344,3 +376,9 @@ func NewExperimentContextShared(cfg SimConfig, sh *ExperimentShared) *Experiment
 
 // Suite exposes the shared suite result (computing it on first use).
 func (c *ExperimentContext) Suite() *SuiteResult { return c.ctx.Suite() }
+
+// SuiteGroup is Suite with the first computation joining the given
+// group, so the caller can cancel the sweep mid-run (an interrupt, a
+// deadline). Canceled inputs are reported in SuiteResult.Dropped with
+// ErrCanceled.
+func (c *ExperimentContext) SuiteGroup(g *TaskGroup) *SuiteResult { return c.ctx.SuiteGroup(g) }

@@ -14,8 +14,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"btr"
@@ -98,6 +100,31 @@ func main() {
 	}
 	ctx := btr.NewExperimentContext(cfg)
 	start := time.Now()
+	// Run the shared sweep up front on a cancelable group: SIGINT/SIGTERM
+	// during the long suite run cancels it cooperatively (the grids
+	// unwind at task boundaries) instead of leaving a killed process and
+	// half-written artifacts. Once the sweep is done the handler is
+	// released, so a later interrupt behaves normally.
+	if pool != nil {
+		group := pool.NewGroup()
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			if _, ok := <-sigc; ok {
+				fmt.Fprintln(os.Stderr, "brexp: interrupted — canceling suite run")
+				group.Cancel()
+			}
+		}()
+		suite := ctx.SuiteGroup(group)
+		signal.Stop(sigc)
+		close(sigc)
+		if group.Canceled() {
+			for _, d := range suite.Dropped {
+				fmt.Fprintf(os.Stderr, "brexp: dropped input %v\n", d)
+			}
+			fatal(fmt.Errorf("suite run canceled (%d inputs dropped); no artifacts written", len(suite.Dropped)))
+		}
+	}
 	for _, id := range ids {
 		path := filepath.Join(*out, id+".txt")
 		f, err := os.Create(path)
@@ -142,8 +169,12 @@ func main() {
 	}
 	if cfg.Cache != nil {
 		s := cfg.Cache.Stats()
-		fmt.Printf("trace cache: hits=%d misses=%d loads=%d spills=%d evicted=%d resident=%d/%dB\n",
-			s.Hits, s.Misses, s.Loads, s.Spills, s.Evicted, s.Resident, s.ResidentBytes)
+		fmt.Printf("trace cache: hits=%d misses=%d loads=%d spills=%d evicted=%d quarantined=%d resident=%d/%dB\n",
+			s.Hits, s.Misses, s.Loads, s.Spills, s.Evicted, s.Quarantined, s.Resident, s.ResidentBytes)
+		if s.Quarantined > 0 {
+			fmt.Fprintf(os.Stderr, "brexp: warning: %d corrupt spill file(s) quarantined under %s (recordings were regenerated; run brtrace -verify %s to audit the rest)\n",
+				s.Quarantined, *cachedir, *cachedir)
+		}
 		if s.SpillFailures > 0 {
 			fmt.Fprintf(os.Stderr, "brexp: warning: %d trace spills failed; -cachedir %s is not persisting (memory reuse unaffected)\n",
 				s.SpillFailures, *cachedir)

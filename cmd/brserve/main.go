@@ -9,6 +9,12 @@
 // scale/budget caps) answers 429 past capacity. /metrics reports the
 // substrate counters, /healthz the drain state. SIGINT/SIGTERM drains
 // gracefully: new requests get 503, in-flight ones finish.
+//
+// A request whose client disconnects — or whose deadline fires
+// (-deadline server-wide, deadline_ms per request) — is canceled
+// cooperatively: its task grid unwinds at the next task boundaries,
+// its admission slot frees, and its stream ends with a "canceled"
+// record.
 package main
 
 import (
@@ -35,7 +41,8 @@ func main() {
 	maxMemBudget := flag.Int64("maxmembudget", 0, "per-request -membudget cap in bytes (0 = 1 GiB)")
 	maxDecodedBudget := flag.Int64("maxdecodedbudget", 0, "per-request -decodedbudget cap in bytes (0 = 1 GiB)")
 	cacheBytes := flag.Int64("cachebytes", 0, "shared trace-cache resident-byte budget (0 = default)")
-	cachedir := flag.String("cachedir", "", "spill shared recorded traces to BTR1 files here (persists across restarts)")
+	cachedir := flag.String("cachedir", "", "spill shared recorded traces to BTR2 files here (persists across restarts)")
+	deadline := flag.Duration("deadline", 0, "default per-request deadline; past it the request is canceled and its stream ends with a canceled record (0 = unbounded, deadline_ms in the request overrides)")
 	drainTimeout := flag.Duration("draintimeout", 30*time.Second, "max wait for in-flight requests during shutdown")
 	flag.Parse()
 
@@ -48,6 +55,7 @@ func main() {
 		MaxDecodedBudget: *maxDecodedBudget,
 		CacheBytes:       *cacheBytes,
 		CacheDir:         *cachedir,
+		DefaultDeadline:  *deadline,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
@@ -78,10 +86,10 @@ func main() {
 	s.Close()
 
 	m := s.Metrics()
-	fmt.Printf("requests: completed=%d rejected=%d failed=%d\n",
-		m.Requests.Completed, m.Requests.Rejected, m.Requests.Failed)
+	fmt.Printf("requests: completed=%d rejected=%d failed=%d canceled=%d\n",
+		m.Requests.Completed, m.Requests.Rejected, m.Requests.Failed, m.Requests.Canceled)
 	fmt.Printf("sched: executed=%d steals=%d submits=%d parks=%d workers=%d\n",
 		m.Sched.Executed, m.Sched.Steals, m.Sched.InjectorSubmits, m.Sched.Parks, m.Sched.Workers)
-	fmt.Printf("trace cache: hits=%d misses=%d loads=%d spills=%d evicted=%d\n",
-		m.TraceCache.Hits, m.TraceCache.Misses, m.TraceCache.Loads, m.TraceCache.Spills, m.TraceCache.Evicted)
+	fmt.Printf("trace cache: hits=%d misses=%d loads=%d spills=%d evicted=%d quarantined=%d\n",
+		m.TraceCache.Hits, m.TraceCache.Misses, m.TraceCache.Loads, m.TraceCache.Spills, m.TraceCache.Evicted, m.TraceCache.Quarantined)
 }

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -48,13 +49,16 @@ func main() {
 	// whole; with -cachedir it persists as a BTR1 spill file, so repeated
 	// invocations skip the generator entirely.
 	var recorded *trace.Handle
+	var cache *trace.Cache
+	var key trace.CacheKey
+	fromCache := false
+	record := func() *trace.Handle { return nil }
 	if *tracePath == "" && *bench != "" && *input != "" {
 		spec, err := btr.FindWorkload(*bench, *input)
 		if err != nil {
 			fatal(err)
 		}
-		var cache *trace.Cache
-		key := trace.CacheKey{Name: spec.Name(), Fingerprint: spec.Fingerprint(), Scale: *scale}
+		key = trace.CacheKey{Name: spec.Name(), Fingerprint: spec.Fingerprint(), Scale: *scale}
 		if *cachedir != "" {
 			// The registry-fingerprinted constructor: spill files from a
 			// stale workload generation are ignored, not trusted.
@@ -65,88 +69,123 @@ func main() {
 			cache = btr.NewTraceCache(cacheBytes, *cachedir)
 			if h, ok := cache.GetHandle(key); ok {
 				recorded = h
+				fromCache = true
 			}
 		}
-		if recorded == nil && *memBudget > 0 {
-			path := ""
-			if cache != nil {
-				path = cache.SpillPathFor(key)
+		// record runs the generator fresh — the first-run path, and the
+		// recovery path when a cached spill file turns out corrupt.
+		record = func() *trace.Handle {
+			var h *trace.Handle
+			if *memBudget > 0 {
+				path := ""
+				if cache != nil {
+					path = cache.SpillPathFor(key)
+				}
+				if sr, err := trace.NewStreamRecorder(path, 0, *memBudget); err == nil {
+					spec.Run(sr, *scale)
+					if sh, err := sr.Seal(); err == nil {
+						h = sh
+					}
+				}
+				// Any streaming failure falls through to the resident path.
 			}
-			if sr, err := trace.NewStreamRecorder(path, 0, *memBudget); err == nil {
-				spec.Run(sr, *scale)
-				if h, err := sr.Seal(); err == nil {
-					recorded = h
+			if h == nil {
+				rec := trace.NewChunkRecorder(0)
+				spec.Run(rec, *scale)
+				h = trace.NewResidentHandle(rec.Trace())
+			}
+			if cache != nil {
+				if err := cache.PutHandle(key, h); err != nil {
+					fmt.Fprintln(os.Stderr, "brsim: warning:", err)
 				}
 			}
-			// Any streaming failure falls through to the resident path.
+			return h
 		}
 		if recorded == nil {
-			rec := trace.NewChunkRecorder(0)
-			spec.Run(rec, *scale)
-			recorded = trace.NewResidentHandle(rec.Trace())
-		}
-		if cache != nil {
-			if err := cache.PutHandle(key, recorded); err != nil {
-				fmt.Fprintln(os.Stderr, "brsim: warning:", err)
-			}
+			recorded = record()
 		}
 	}
 
-	p, err := buildPredictor(*pred, *k, recorded)
-	if err != nil {
-		fatal(err)
-	}
-
+	// attempt builds the predictor and runs the measurement, converting
+	// the paging panics a corrupt spill file raises into an error the
+	// retry logic below can classify.
+	var p btr.Predictor
 	var res bpred.Result
 	var snapStats *sim.SnapshotRunStats
 	var poolStats *trace.DecodedPoolStats
-	switch {
-	case *tracePath != "":
-		f, err := os.Open(*tracePath)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		r, err := trace.NewReader(f)
-		if err != nil {
-			fatal(err)
-		}
-		res, err = bpred.Run(p, r)
-		if err != nil {
-			fatal(err)
-		}
-	case recorded != nil:
-		if *snapshotRanges > 1 {
-			if mk := snapshotFactory(*pred, *k); mk != nil {
-				var stats sim.SnapshotRunStats
-				res, stats = sim.RunPredictorSnapshot(recorded, mk, *snapshotRanges, *workers)
-				snapStats = &stats
-				break
+	attempt := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				if e, ok := r.(error); ok {
+					err = e
+					return
+				}
+				err = fmt.Errorf("%v", r)
 			}
-			fmt.Fprintf(os.Stderr, "brsim: warning: -snapshotranges supports pas and gas only; replaying %s chained\n", *pred)
-		}
-		src := recorded.Source()
-		var pool *trace.DecodedPool
-		if *readAhead > 0 {
-			// A sequential replay visits each chunk once, so the pool only
-			// needs to hold the read-ahead window: bound it to a few chunks
-			// past the requested depth and let LRU eviction do the rest.
-			budget := int64(*readAhead+2) * int64(recorded.ChunkEvents()) * 9
-			pool = trace.NewDecodedPool(recorded, budget)
-			pool.EnablePrefetch(0, 0)
-			src = pool.Source(*readAhead)
-		}
-		res, err = bpred.Run(p, src)
-		if pool != nil {
-			pool.ClosePrefetch()
-			ps := pool.Stats()
-			poolStats = &ps
-		}
+		}()
+		p, err = buildPredictor(*pred, *k, recorded)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-	default:
-		fatal(fmt.Errorf("need either -trace or -bench/-input"))
+		snapStats, poolStats = nil, nil
+		switch {
+		case *tracePath != "":
+			f, err := os.Open(*tracePath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			r, err := trace.NewReader(f)
+			if err != nil {
+				return err
+			}
+			res, err = bpred.Run(p, r)
+			return err
+		case recorded != nil:
+			if *snapshotRanges > 1 {
+				if mk := snapshotFactory(*pred, *k); mk != nil {
+					var stats sim.SnapshotRunStats
+					res, stats = sim.RunPredictorSnapshot(recorded, mk, *snapshotRanges, *workers)
+					snapStats = &stats
+					return nil
+				}
+				fmt.Fprintf(os.Stderr, "brsim: warning: -snapshotranges supports pas and gas only; replaying %s chained\n", *pred)
+			}
+			src := recorded.Source()
+			var pool *trace.DecodedPool
+			if *readAhead > 0 {
+				// A sequential replay visits each chunk once, so the pool only
+				// needs to hold the read-ahead window: bound it to a few chunks
+				// past the requested depth and let LRU eviction do the rest.
+				budget := int64(*readAhead+2) * int64(recorded.ChunkEvents()) * 9
+				pool = trace.NewDecodedPool(recorded, budget)
+				pool.EnablePrefetch(0, 0)
+				src = pool.Source(*readAhead)
+			}
+			res, err = bpred.Run(p, src)
+			if pool != nil {
+				pool.ClosePrefetch()
+				ps := pool.Stats()
+				poolStats = &ps
+			}
+			return err
+		default:
+			return fmt.Errorf("need either -trace or -bench/-input")
+		}
+	}
+	err := attempt()
+	if err != nil && fromCache && errors.Is(err, trace.ErrCorruptSpill) {
+		// The cached spill file no longer decodes (checksum mismatch,
+		// truncation). Quarantine it and re-record from the generator —
+		// the rerun is bit-identical to an uncached run.
+		fmt.Fprintf(os.Stderr, "brsim: warning: cached recording is corrupt (%v); quarantined, re-recording\n", err)
+		cache.Quarantine(key)
+		fromCache = false
+		recorded = record()
+		err = attempt()
+	}
+	if err != nil {
+		fatal(err)
 	}
 
 	fmt.Printf("predictor=%s events=%d misses=%d missrate=%.4f accuracy=%.2f%% state=%d bits\n",

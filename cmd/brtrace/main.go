@@ -8,6 +8,7 @@
 //	        -membudget 1048576                       # streamed, bounded memory
 //	brtrace -info expr.btr                           # summarise a trace
 //	brtrace -text expr.btr                           # dump as text
+//	brtrace -verify cachedir                         # audit spill files
 //
 // Recording and -info also report the in-memory chunked format's stats
 // (chunks, events, encoded bytes, bytes/event) alongside the BTR1 file
@@ -16,12 +17,21 @@
 // shows the memory shape a bounded-budget run has: peak resident chunk
 // bytes, spill page-ins, and the decoded pool's high-water mark from an
 // audit replay.
+//
+// -verify audits spill files — one file, or every *.btr under a
+// directory (a trace-cache dir): header, frame structure, event counts,
+// and, for BTR2, every chunk's checksum and decodability. One PASS/FAIL
+// line per file; the exit status is nonzero if any file fails.
+// Quarantined and temporary files (*.quarantined, *.tmp*) are skipped.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	"btr"
 	"btr/internal/trace"
@@ -37,9 +47,12 @@ func main() {
 	readAhead := flag.Int("readahead", 0, "during the -membudget audit replay, prefetch this many chunks ahead of the cursor so spill paging overlaps the replay (0 = demand paging)")
 	info := flag.String("info", "", "summarise an existing trace file")
 	text := flag.String("text", "", "dump an existing trace file as text")
+	verify := flag.String("verify", "", "audit a spill file, or every *.btr under a directory; exits nonzero if any file fails")
 	flag.Parse()
 
 	switch {
+	case *verify != "":
+		runVerify(*verify)
 	case *list:
 		fmt.Printf("%-10s %-18s %s\n", "benchmark", "input", "target@scale1.0")
 		for _, s := range btr.Workloads() {
@@ -154,6 +167,49 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// runVerify audits one spill file or every *.btr in a directory,
+// printing one PASS/FAIL line per file and exiting 1 on any failure.
+// Quarantined and in-progress temp files never match (their names do
+// not end in .btr), so a cache dir audits cleanly mid-traffic.
+func runVerify(path string) {
+	st, err := os.Stat(path)
+	if err != nil {
+		fatal(err)
+	}
+	files := []string{path}
+	if st.IsDir() {
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			fatal(err)
+		}
+		files = files[:0]
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".btr") {
+				files = append(files, filepath.Join(path, e.Name()))
+			}
+		}
+		sort.Strings(files)
+		if len(files) == 0 {
+			fmt.Printf("verify: no spill files under %s\n", path)
+			return
+		}
+	}
+	failed := 0
+	for _, fp := range files {
+		rep := trace.VerifySpill(fp)
+		if rep.OK() {
+			fmt.Printf("PASS %s format=BTR%d chunks=%d events=%d\n", fp, rep.Format, rep.Chunks, rep.Events)
+		} else {
+			failed++
+			fmt.Printf("FAIL %s: %v\n", fp, rep.Err)
+		}
+	}
+	fmt.Printf("verify: %d/%d passed\n", len(files)-failed, len(files))
+	if failed > 0 {
+		os.Exit(1)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"sync"
 
+	"btr/internal/sched"
 	"btr/internal/sim"
 	"btr/internal/trace"
 	"btr/internal/workload"
@@ -125,6 +126,22 @@ func NewContextShared(cfg sim.Config, sh *Shared) *Context {
 func (c *Context) Suite() *sim.SuiteResult {
 	c.once.Do(func() {
 		c.suite = sim.RunSuite(c.Specs, c.Cfg)
+	})
+	return c.suite
+}
+
+// SuiteGroup is Suite with the first computation running as the given
+// scheduler group, so the caller can cancel the suite mid-run
+// (sched.Group.Cancel): brserve hands each request's group here and
+// cancels it when the client disconnects or a deadline fires. Inputs
+// dropped by the cancellation carry sim.ErrCanceled in
+// SuiteResult.Dropped. If the suite was already computed (by Suite or
+// an earlier SuiteGroup), the cached result is returned and g is
+// untouched. Configs that select a pool engine (NoSched, NoRecord)
+// ignore g, as sim.RunSuiteGroup does.
+func (c *Context) SuiteGroup(g *sched.Group) *sim.SuiteResult {
+	c.once.Do(func() {
+		c.suite = sim.RunSuiteGroup(g, c.Specs, c.Cfg)
 	})
 	return c.suite
 }

@@ -24,8 +24,9 @@ import (
 // surfaces on that tenant's waiter instead of poisoning the shared
 // pool.
 type Group struct {
-	s       *Scheduler
-	pending atomic.Int64
+	s        *Scheduler
+	pending  atomic.Int64
+	canceled atomic.Bool
 
 	mu       sync.Mutex // guards cond and panicked
 	cond     *sync.Cond
@@ -40,6 +41,20 @@ func (s *Scheduler) NewGroup() *Group {
 	g.cond = sync.NewCond(&g.mu)
 	return g
 }
+
+// Scheduler returns the scheduler the group runs on.
+func (g *Group) Scheduler() *Scheduler { return g.s }
+
+// Cancel flags the group as canceled. The scheduler keeps running every
+// already-queued member to completion — tasks are cheap and the count
+// must drain for Wait to return — but cooperative workloads observe the
+// flag (Worker.Canceled) at their task boundaries and unwind instead of
+// doing real work. Idempotent and safe from any goroutine, including
+// concurrently with Wait.
+func (g *Group) Cancel() { g.canceled.Store(true) }
+
+// Canceled reports whether Cancel was called.
+func (g *Group) Canceled() bool { return g.canceled.Load() }
 
 // Submit enqueues a task into the scheduler's injector queue as a
 // member of g. Safe from any goroutine.

@@ -175,3 +175,97 @@ func TestCloseRunsQueuedWork(t *testing.T) {
 		t.Fatalf("Close drained %d tasks, want 200", got)
 	}
 }
+
+// TestGroupCancelDrains pins the cooperative-cancellation contract:
+// Cancel flips the flag every member task can observe via
+// Worker.Canceled, every queued task still runs (so the pending count
+// drains and Wait returns), and tasks that check the flag skip their
+// work.
+func TestGroupCancelDrains(t *testing.T) {
+	s := New(4)
+	defer s.Close()
+
+	var did, skipped atomic.Int64
+	gate := make(chan struct{})
+	g := s.NewGroup()
+	g.Submit(func(*Worker) { <-gate }) // hold the group open
+	for i := 0; i < 128; i++ {
+		g.Submit(func(w *Worker) {
+			if w.Canceled() {
+				skipped.Add(1)
+				return
+			}
+			did.Add(1)
+		})
+	}
+	g.Cancel()
+	close(gate)
+	g.Wait()
+
+	if !g.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+	if did.Load()+skipped.Load() != 128 {
+		t.Fatalf("drained %d tasks, want 128 (did=%d skipped=%d)",
+			did.Load()+skipped.Load(), did.Load(), skipped.Load())
+	}
+	if skipped.Load() == 0 {
+		t.Fatal("no task observed the cancellation")
+	}
+	if st := s.Stats(); st.Pending != 0 {
+		t.Fatalf("Pending = %d after canceled Wait, want 0", st.Pending)
+	}
+}
+
+// TestGroupCancelIsolation: canceling one group must not leak into a
+// sibling group on the same scheduler.
+func TestGroupCancelIsolation(t *testing.T) {
+	s := New(4)
+	defer s.Close()
+
+	canceled := s.NewGroup()
+	canceled.Cancel()
+	canceled.Wait()
+
+	var ran atomic.Int64
+	live := s.NewGroup()
+	for i := 0; i < 64; i++ {
+		live.Submit(func(w *Worker) {
+			if !w.Canceled() {
+				ran.Add(1)
+			}
+		})
+	}
+	live.Wait()
+	if live.Canceled() {
+		t.Fatal("sibling group reports Canceled")
+	}
+	if got := ran.Load(); got != 64 {
+		t.Fatalf("sibling group ran %d tasks, want 64", got)
+	}
+}
+
+// TestGroupCancelFanOut: tasks fanned out via Worker.Submit after the
+// cancel inherit the group, so the whole task tree drains and observes
+// the flag.
+func TestGroupCancelFanOut(t *testing.T) {
+	s := New(4)
+	defer s.Close()
+
+	var seen atomic.Int64
+	g := s.NewGroup()
+	g.Submit(func(w *Worker) {
+		g.Cancel()
+		for i := 0; i < 10; i++ {
+			w.Submit(func(w *Worker) {
+				if w.Canceled() {
+					seen.Add(1)
+				}
+			})
+		}
+	})
+	g.Wait()
+	if got := seen.Load(); got != 10 {
+		t.Fatalf("%d fanned-out tasks observed the cancel, want 10", got)
+	}
+}

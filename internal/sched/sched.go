@@ -109,6 +109,13 @@ type Worker struct {
 	rnd uint64 // xorshift state for victim selection
 }
 
+// Canceled reports whether the group of the currently-running task has
+// been canceled. Tasks outside any group are never canceled. Workloads
+// that decompose into many small tasks check this at task boundaries
+// and unwind instead of doing real work, which is what makes Group
+// cancellation land in bounded time.
+func (w *Worker) Canceled() bool { return w.g != nil && w.g.Canceled() }
+
 // New starts a scheduler with n workers (n <= 0 means GOMAXPROCS).
 func New(n int) *Scheduler {
 	if n <= 0 {

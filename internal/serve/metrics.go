@@ -23,12 +23,15 @@ type Metrics struct {
 }
 
 // RequestMetrics counts admissions. InFlight and Queued are gauges.
+// Canceled counts requests that ended with a "canceled" record (client
+// disconnect or deadline); they are not counted completed or failed.
 type RequestMetrics struct {
 	InFlight  int64 `json:"in_flight"`
 	Queued    int64 `json:"queued"`
 	Completed int64 `json:"completed"`
 	Rejected  int64 `json:"rejected"`
 	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
 	Draining  bool  `json:"draining"`
 }
 
@@ -40,6 +43,7 @@ type TraceCacheMetrics struct {
 	Spills        int64 `json:"spills"`
 	SpillFailures int64 `json:"spill_failures"`
 	Evicted       int64 `json:"evicted"`
+	Quarantined   int64 `json:"quarantined"`
 	Resident      int   `json:"resident"`
 	ResidentBytes int64 `json:"resident_bytes"`
 }
@@ -78,6 +82,7 @@ func traceCacheMetrics(s trace.CacheStats) TraceCacheMetrics {
 		Spills:        s.Spills,
 		SpillFailures: s.SpillFailures,
 		Evicted:       s.Evicted,
+		Quarantined:   s.Quarantined,
 		Resident:      s.Resident,
 		ResidentBytes: s.ResidentBytes,
 	}
@@ -123,6 +128,7 @@ func (s *Server) Metrics() Metrics {
 			Completed: s.completed.Load(),
 			Rejected:  s.rejected.Load(),
 			Failed:    s.failed.Load(),
+			Canceled:  s.canceled.Load(),
 			Draining:  s.draining.Load(),
 		},
 		Sched:        s.sched.Stats(),

@@ -55,8 +55,13 @@ type Config struct {
 	// (0 = trace.DefaultCacheBytes). Ignored when Shared is set.
 	CacheBytes int64
 	// CacheDir, when non-empty, makes the shared trace cache persistent
-	// (BTR1 spill files). Ignored when Shared is set.
+	// (BTR2 spill files). Ignored when Shared is set.
 	CacheDir string
+	// DefaultDeadline, when > 0, bounds every request that does not set
+	// its own deadline_ms: a request still running when it expires is
+	// canceled (its group unwinds cooperatively) and its stream ends
+	// with a "canceled" record. 0 means requests run unbounded.
+	DefaultDeadline time.Duration
 
 	// Shared and Sched, when non-nil, are adopted instead of built —
 	// tests and embedders inject their own substrate. New never closes
@@ -125,11 +130,19 @@ type Request struct {
 	SnapshotRanges int `json:"snapshotranges,omitempty"`
 	ReadAhead      int `json:"readahead,omitempty"`
 	Window         int `json:"window,omitempty"`
+	// DeadlineMS bounds this request's wall-clock time in milliseconds;
+	// past it the run is canceled and the stream ends with a "canceled"
+	// record. 0 inherits the server's default deadline (which may be
+	// none).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // Record is one NDJSON line of a streamed response.
 type Record struct {
-	// Type is "start", "experiment", "dropped", "error" or "summary".
+	// Type is "start", "experiment", "dropped", "error", "canceled" or
+	// "summary". A "canceled" record is terminal: the client
+	// disconnected or the request's deadline fired, the run unwound
+	// cooperatively, and no experiments follow.
 	Type string `json:"type"`
 	// ID names the experiment of an "experiment" record.
 	ID string `json:"id,omitempty"`
@@ -172,6 +185,7 @@ type Server struct {
 	completed atomic.Int64
 	rejected  atomic.Int64
 	failed    atomic.Int64
+	canceled  atomic.Int64
 
 	memMu sync.Mutex
 	mem   sim.MemStats // summed across completed requests
@@ -313,6 +327,10 @@ func (s *Server) resolve(req *Request) (ids []string, specs []workload.Spec, cfg
 		return nil, nil, cfg, &rejection{http.StatusTooManyRequests,
 			ErrorResponse{Error: fmt.Sprintf("decodedbudget %d exceeds the per-request limit %d", req.DecodedBudget, s.cfg.maxDecodedBudget())}}
 	}
+	if req.DeadlineMS < 0 {
+		return nil, nil, cfg, &rejection{http.StatusBadRequest,
+			ErrorResponse{Error: fmt.Sprintf("deadline_ms %d is negative", req.DeadlineMS)}}
+	}
 	cfg = sim.Config{
 		Scale:              scale,
 		HardDistanceWindow: req.Window,
@@ -372,7 +390,40 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
 
-	s.stream(w, ids, s.session(cfg, specs))
+	// The request's whole task grid joins one scheduler group so it can
+	// be canceled as a unit: a watcher trips the group when the client
+	// disconnects (r.Context) or the request's deadline fires, the sim
+	// grids unwind cooperatively at their next task boundary, and the
+	// stream ends with a "canceled" record. The admission slot is freed
+	// by the deferred release above only after the group has drained —
+	// a canceled request never leaks its slot or its tasks.
+	ctx := r.Context()
+	if d := s.deadlineFor(&req); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	g := s.sched.NewGroup()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			g.Cancel()
+		case <-done:
+		}
+	}()
+
+	s.stream(w, g, ids, s.session(cfg, specs))
+}
+
+// deadlineFor resolves a request's wall-clock bound: its own
+// deadline_ms when set, else the server default (0 = unbounded).
+func (s *Server) deadlineFor(req *Request) time.Duration {
+	if req.DeadlineMS > 0 {
+		return time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	return s.cfg.DefaultDeadline
 }
 
 // stream runs the session and writes the NDJSON response: a start
@@ -380,8 +431,11 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 // rendered artifact (in request order, flushed as each completes), one
 // dropped record per failed input, and a closing summary. A panic out
 // of the suite run — one tenant's bug — becomes an error record on
-// this stream only.
-func (s *Server) stream(w http.ResponseWriter, ids []string, ctx *experiments.Context) {
+// this stream only. A canceled group (disconnect, deadline) ends the
+// stream with a terminal "canceled" record instead of experiments; the
+// write is best-effort, since the usual cause is a client that is no
+// longer there.
+func (s *Server) stream(w http.ResponseWriter, g *sched.Group, ids []string, ctx *experiments.Context) {
 	start := time.Now()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Accel-Buffering", "no")
@@ -402,12 +456,21 @@ func (s *Server) stream(w http.ResponseWriter, ids []string, ctx *experiments.Co
 				err = fmt.Errorf("suite run panicked: %v", r)
 			}
 		}()
-		suite = ctx.Suite()
+		suite = ctx.SuiteGroup(g)
 		return nil
 	}()
 	if err != nil {
 		s.failed.Add(1)
 		emit(Record{Type: "error", Error: err.Error()})
+		return
+	}
+	if g.Canceled() {
+		s.canceled.Add(1)
+		emit(Record{
+			Type:      "canceled",
+			Dropped:   len(suite.Dropped),
+			ElapsedMS: time.Since(start).Milliseconds(),
+		})
 		return
 	}
 

@@ -273,7 +273,7 @@ func TestDroppedInputsStreamAsStructuredRecords(t *testing.T) {
 	ctx.Specs = []workload.Spec{good, bad}
 
 	rec := httptest.NewRecorder()
-	s.stream(rec, []string{"T1"}, ctx)
+	s.stream(rec, s.sched.NewGroup(), []string{"T1"}, ctx)
 
 	var dropped, summary *Record
 	sc := bufio.NewScanner(rec.Body)

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"fmt"
 	"sync/atomic"
 
 	"btr/internal/core"
@@ -97,19 +96,29 @@ func (g *attribGrid) launch(w *sched.Worker) {
 // runPart attributes one chunk range. A panic (a paging failure, or a
 // corrupt spill) poisons the grid: the cause is recorded once, the
 // remaining counter never reaches zero, the sweep never launches, and
-// the input is reported via SuiteResult.Dropped.
+// the input is reported via SuiteResult.Dropped. Group cancellation
+// poisons the same way with ErrCanceled.
 func (g *attribGrid) runPart(w *sched.Worker, r int) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			if g.failed.CompareAndSwap(false, true) {
-				*g.errOut = fmt.Errorf("attribution failed: %v", rec)
+				*g.errOut = recoveredErr("attribution failed", rec)
 				// The sweep never launches, so finalizeMem never stops the
 				// prefetcher; the poisoning task does it here.
+				g.pool.CancelPrefetch()
 				g.pool.ClosePrefetch()
 			}
 		}
 	}()
 	if g.failed.Load() {
+		return
+	}
+	if w.Canceled() {
+		if g.failed.CompareAndSwap(false, true) {
+			*g.errOut = ErrCanceled
+			g.pool.CancelPrefetch()
+			g.pool.ClosePrefetch()
+		}
 		return
 	}
 	p := &g.parts[r]

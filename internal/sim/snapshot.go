@@ -141,13 +141,32 @@ func startSnapshotSweep(w *sched.Worker, cfg Config, ranges int, res *InputResul
 // reported via SuiteResult.Dropped.
 func (ss *snapshotSweep) guard() {
 	if r := recover(); r != nil {
-		if ss.failed.CompareAndSwap(false, true) {
-			*ss.errOut = fmt.Errorf("snapshot sweep failed: %v", r)
-			// The grid never publishes (finalizeMem never runs), so the
-			// poisoning task stops the prefetch workers itself.
-			ss.pool.ClosePrefetch()
-		}
+		ss.poison(recoveredErr("snapshot sweep failed", r))
 	}
+}
+
+// poison records the grid's first failure cause and stops the prefetch
+// workers (the grid never publishes, so finalizeMem never runs).
+func (ss *snapshotSweep) poison(err error) {
+	if ss.failed.CompareAndSwap(false, true) {
+		*ss.errOut = err
+		ss.pool.CancelPrefetch()
+		ss.pool.ClosePrefetch()
+	}
+}
+
+// bail reports whether the task should unwind without doing work:
+// the grid is already poisoned, or its group has been canceled (which
+// poisons it with ErrCanceled).
+func (ss *snapshotSweep) bail(w *sched.Worker) bool {
+	if ss.failed.Load() {
+		return true
+	}
+	if w.Canceled() {
+		ss.poison(ErrCanceled)
+		return true
+	}
+	return false
 }
 
 // prefetchWindow hints the chunks (k, min(k+1+ra, end)) that have not
@@ -176,7 +195,7 @@ func (ss *snapshotSweep) prefetchWindow(pf *int, k, end int) {
 // never needed.
 func (ss *snapshotSweep) warmup(w *sched.Worker, slot, r int) {
 	defer ss.guard()
-	if ss.failed.Load() {
+	if ss.bail(w) {
 		return
 	}
 	s := &ss.slots[slot]
@@ -216,7 +235,7 @@ func (ss *snapshotSweep) accountSnapshot(n int64) {
 // and — as the last task of the whole grid — fold and publish.
 func (ss *snapshotSweep) sweepRange(w *sched.Worker, slot, r int) {
 	defer ss.guard()
-	if ss.failed.Load() {
+	if ss.bail(w) {
 		return
 	}
 	s := &ss.slots[slot]

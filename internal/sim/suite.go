@@ -41,6 +41,23 @@ func (e InputError) Unwrap() error { return e.Err }
 // explanation of its own.
 var errNoResult = errors.New("produced no result")
 
+// ErrCanceled is the cause recorded for inputs dropped because their
+// suite run's group was canceled (sched.Group.Cancel — a disconnected
+// brserve client, a deadline, an interrupt). Test with errors.Is: the
+// recorded error may wrap it in task context.
+var ErrCanceled = errors.New("suite run canceled")
+
+// recoveredErr wraps a recovered panic value in task context. Error
+// values keep their chain (%w) so upper layers can classify the cause —
+// errors.Is(err, trace.ErrCorruptSpill) must see through "bank sweep
+// failed: ..." for the suite's quarantine-and-retry round to trigger.
+func recoveredErr(prefix string, r any) error {
+	if err, ok := r.(error); ok {
+		return fmt.Errorf("%s: %w", prefix, err)
+	}
+	return fmt.Errorf("%s: %v", prefix, r)
+}
+
 // SuiteResult aggregates InputResults across benchmark inputs, dynamic-
 // occurrence weighted, which is how every paper figure reports data.
 type SuiteResult struct {
@@ -128,17 +145,53 @@ func RunSuiteOn(s *sched.Scheduler, specs []workload.Spec, cfg Config) *SuiteRes
 	if cfg.NoSched || cfg.NoRecord {
 		return runSuitePool(specs, cfg)
 	}
-	workers := s.Workers()
-	g := s.NewGroup()
+	return RunSuiteGroup(s.NewGroup(), specs, cfg)
+}
+
+// RunSuiteGroup is RunSuiteOn with a caller-owned group: the suite's
+// whole task grid joins g, so the caller can Cancel it mid-run (a
+// disconnected client, a deadline) — canceled inputs land in
+// SuiteResult.Dropped with ErrCanceled and the call returns once the
+// queued tasks drain, in bounded time because every grid checks the
+// flag at task boundaries.
+//
+// It is also where spill corruption is recovered: an input that failed
+// because its cached recording no longer decodes (errors.Is
+// trace.ErrCorruptSpill — a checksum mismatch, a truncated file) has
+// the cache entry quarantined and is re-run once on the same group.
+// The retry finds no recording and re-records from the generator, so
+// its result is bit-identical to an uncorrupted run; a second failure
+// stays in Dropped with its cause.
+func RunSuiteGroup(g *sched.Group, specs []workload.Spec, cfg Config) *SuiteResult {
+	if cfg.NoSched || cfg.NoRecord {
+		return runSuitePool(specs, cfg)
+	}
+	workers := g.Scheduler().Workers()
 	results := make([]*InputResult, len(specs))
 	errs := make([]error, len(specs))
-	for i := range specs {
-		i := i
+	submit := func(i int) {
 		g.Submit(func(w *sched.Worker) {
 			profileTask(w, specs[i], cfg, workers, &results[i], &errs[i])
 		})
 	}
+	for i := range specs {
+		submit(i)
+	}
 	g.Wait()
+	if cfg.Cache != nil && !g.Canceled() {
+		retried := false
+		for i := range specs {
+			if results[i] == nil && errors.Is(errs[i], trace.ErrCorruptSpill) {
+				cfg.Cache.Quarantine(cfg.cacheKey(specs[i]))
+				errs[i] = nil
+				submit(i)
+				retried = true
+			}
+		}
+		if retried {
+			g.Wait()
+		}
+	}
 	return aggregate(results, specs, errs, cfg)
 }
 
@@ -153,6 +206,10 @@ func RunSuiteOn(s *sched.Scheduler, specs []workload.Spec, cfg Config) *SuiteRes
 // sweep task to finish folds the counters and publishes the result —
 // Scheduler.Wait's barrier makes the write visible to the aggregation.
 func profileTask(w *sched.Worker, spec workload.Spec, cfg Config, workers int, out **InputResult, errOut *error) {
+	if w.Canceled() {
+		*errOut = ErrCanceled
+		return
+	}
 	if cfg.ChunkTasks < 0 {
 		// Slot-only baseline: sequential attribution, whole-trace batches.
 		var res *InputResult
@@ -160,7 +217,7 @@ func profileTask(w *sched.Worker, spec workload.Spec, cfg Config, workers int, o
 		func() {
 			defer func() {
 				if r := recover(); r != nil {
-					*errOut = fmt.Errorf("workload panicked: %v", r)
+					*errOut = recoveredErr("workload panicked", r)
 				}
 			}()
 			res, classIdx = profileStage(spec, cfg)
@@ -168,7 +225,7 @@ func profileTask(w *sched.Worker, spec workload.Spec, cfg Config, workers int, o
 		if res == nil {
 			return
 		}
-		slotOnlySweep(w, cfg, workers, res, classIdx, out)
+		slotOnlySweep(w, cfg, workers, res, classIdx, out, errOut)
 		return
 	}
 	if res, classIdx, ok := profileCached(spec, cfg); ok {
@@ -181,7 +238,7 @@ func profileTask(w *sched.Worker, spec workload.Spec, cfg Config, workers int, o
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
-				*errOut = fmt.Errorf("workload panicked: %v", r)
+				*errOut = recoveredErr("workload panicked", r)
 			}
 		}()
 		res = passOne(spec, cfg)
@@ -215,7 +272,10 @@ func startChunkSweep(w *sched.Worker, cfg Config, res *InputResult, classIdx []u
 // chunk-axis baseline (cfg.ChunkTasks < 0): BankWorkers whole-trace
 // batches, clamped to the worker count because each batch decodes the
 // trace itself — exactly the redundancy the chunk-range grid removes.
-func slotOnlySweep(w *sched.Worker, cfg Config, workers int, res *InputResult, classIdx []uint8, out **InputResult) {
+// Cancellation is checked per batch (the coarsest boundary this shape
+// has): a canceled batch poisons the sweep with ErrCanceled and the
+// input lands in Dropped unpublished.
+func slotOnlySweep(w *sched.Worker, cfg Config, workers int, res *InputResult, classIdx []uint8, out **InputResult, errOut *error) {
 	batches := cfg.bankWorkers()
 	if batches > workers {
 		batches = workers
@@ -223,10 +283,20 @@ func slotOnlySweep(w *sched.Worker, cfg Config, workers int, res *InputResult, c
 	misses := make([]missCell, numBankSlots)
 	groups := bankGroups(batches, misses)
 	var remaining atomic.Int32
+	var failed atomic.Bool
 	remaining.Store(int32(len(groups)))
 	for _, group := range groups {
 		group := group
-		w.Submit(func(*sched.Worker) {
+		w.Submit(func(w *sched.Worker) {
+			if failed.Load() {
+				return
+			}
+			if w.Canceled() {
+				if failed.CompareAndSwap(false, true) {
+					*errOut = ErrCanceled
+				}
+				return
+			}
 			sweepSlots(group, res.Recorded, classIdx)
 			if remaining.Add(-1) == 0 {
 				foldMisses(res, misses)
@@ -305,19 +375,30 @@ func newChunkSweep(cfg Config, res *InputResult, classIdx []uint8, pool *trace.D
 // (a spill paging failure) poisons the grid: the cause is recorded
 // once, sibling chains bail out at their next range, live never
 // reaches zero, and the unpublished input is reported via
-// SuiteResult.Dropped.
+// SuiteResult.Dropped. Group cancellation poisons the same way with
+// ErrCanceled, so a canceled request's chains stop at their next range
+// instead of sweeping the rest of the trace.
 func (cs *chunkSweep) advance(w *sched.Worker, ci int) {
 	defer func() {
 		if r := recover(); r != nil {
 			if cs.failed.CompareAndSwap(false, true) {
-				*cs.errOut = fmt.Errorf("bank sweep failed: %v", r)
+				*cs.errOut = recoveredErr("bank sweep failed", r)
 				// The grid never publishes (finalizeMem never runs), so
 				// the poisoning task stops the prefetch workers itself.
+				cs.pool.CancelPrefetch()
 				cs.pool.ClosePrefetch()
 			}
 		}
 	}()
 	if cs.failed.Load() {
+		return
+	}
+	if w.Canceled() {
+		if cs.failed.CompareAndSwap(false, true) {
+			*cs.errOut = ErrCanceled
+			cs.pool.CancelPrefetch()
+			cs.pool.ClosePrefetch()
+		}
 		return
 	}
 	ch := &cs.chains[ci]

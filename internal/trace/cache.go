@@ -1,8 +1,10 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
+	"os"
 	"path/filepath"
 	"sync"
 )
@@ -65,10 +67,11 @@ func (k CacheKey) Normalised() CacheKey {
 type CacheStats struct {
 	Hits          int64 // Gets served, from memory or disk
 	Misses        int64 // Gets that found nothing
-	Loads         int64 // hits that re-read a BTR1 spill file
+	Loads         int64 // hits that re-read a spill file
 	Spills        int64 // traces written to the spill directory
 	SpillFailures int64 // spill writes that failed (persistence lost, memory reuse kept)
 	Evicted       int64 // entries whose columns were released from memory
+	Quarantined   int64 // corrupt spill files renamed aside (entry dropped, caller re-records)
 	Resident      int   // entries currently holding columns in memory
 	ResidentBytes int64 // bytes of resident columns
 }
@@ -135,9 +138,14 @@ func (c *Cache) handleFor(key CacheKey) (h *Handle, probed, ok bool) {
 		return nil, false, false
 	}
 	// Probe the spill dir: a previous process may have left the file;
-	// an open failure is simply a miss.
+	// an open failure is simply a miss. A file the scan rejects as
+	// corrupt (torn BTR2 structure, bad trailer) is moved aside so the
+	// miss does not repeat the doomed scan on every later probe.
 	h, err := OpenSpillHandle(c.spillPath(key), key.ChunkEvents)
 	if err != nil {
+		if errors.Is(err, ErrCorruptSpill) {
+			c.Quarantine(key)
+		}
 		return nil, false, false
 	}
 	c.mu.Lock()
@@ -179,11 +187,16 @@ func (c *Cache) Get(key CacheKey) (*ChunkedTrace, bool) {
 		return nil, false
 	}
 	tr, paged, err := h.materialise()
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if err != nil {
-		// The file is missing, vanished or corrupt: forget it and
-		// report a miss so the caller regenerates.
+		// The file is missing, vanished or corrupt: forget the entry and
+		// report a miss so the caller regenerates. Detected corruption
+		// additionally moves the file aside — otherwise the next Get
+		// would probe the same damaged bytes forever.
+		if errors.Is(err, ErrCorruptSpill) {
+			c.Quarantine(key)
+		}
+		c.mu.Lock()
+		defer c.mu.Unlock()
 		if e := c.entries[key]; e != nil && e.h == h {
 			c.bytes -= e.charged
 			delete(c.entries, key)
@@ -191,6 +204,8 @@ func (c *Cache) Get(key CacheKey) (*ChunkedTrace, bool) {
 		c.stats.Misses++
 		return nil, false
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.stats.Hits++
 	if probed || paged {
 		c.stats.Loads++
@@ -305,6 +320,40 @@ func (c *Cache) putHandle(key CacheKey, h *Handle, offered *ChunkedTrace) error 
 	c.adoptLocked(key, h)
 	c.mu.Unlock()
 	return spillErr
+}
+
+// Quarantine drops key's entry and moves its spill file aside (renamed
+// with a ".quarantined" suffix, or removed if the rename fails), so the
+// next Get misses cleanly and re-records instead of re-reading damaged
+// bytes. Probes never match the quarantined name, and the re-recording
+// lands at the original path via the usual temp-and-rename. Callers
+// invoke it when a replay detects corruption (errors.Is
+// ErrCorruptSpill) after the entry was already handed out.
+func (c *Cache) Quarantine(key CacheKey) {
+	key = key.Normalised()
+	c.mu.Lock()
+	e := c.entries[key]
+	if e != nil {
+		c.bytes -= e.charged
+		delete(c.entries, key)
+	}
+	dir := c.dir
+	c.mu.Unlock()
+
+	moved := false
+	if dir != "" {
+		path := c.spillPath(key)
+		if err := os.Rename(path, path+".quarantined"); err == nil {
+			moved = true
+		} else if os.Remove(path) == nil {
+			moved = true
+		}
+	}
+	if e != nil || moved {
+		c.mu.Lock()
+		c.stats.Quarantined++
+		c.mu.Unlock()
+	}
 }
 
 // SpillPathFor returns the deterministic spill-file path for key, or

@@ -5,10 +5,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
-// Binary trace format ("BTR1"):
+// Binary trace format, version 1 ("BTR1"):
 //
 //	magic   [4]byte  "BTR1"
 //	groups  *        repeated event groups, until EOF
@@ -23,15 +24,80 @@ import (
 // so the format is self-delimiting without a length header. Branch traces
 // revisit a small working set of PCs, so deltas are small: the common
 // event costs ~1.1 bytes versus 9 for a fixed-width encoding.
+//
+// Version 2 ("BTR2") wraps the same group encoding in checksummed chunk
+// frames so damage is detected instead of decoded:
+//
+//	magic       [4]byte  "BTR2"
+//	chunkEvents uvarint  the file's chunk granularity
+//	frames      *        chunk frames, then one trailer
+//
+// Each frame is one chunk:
+//
+//	events   uvarint  events in this chunk (1..chunkEvents; only the
+//	                  final data frame may hold fewer than chunkEvents)
+//	plen     uvarint  payload length in bytes
+//	startPC  uvarint  the PC preceding the chunk's first event
+//	crc      u32 LE   CRC32C (Castagnoli) of the payload
+//	payload  plen ×   BTR1-style event groups; deltas chain from
+//	                  startPC, and groups restart per frame (the final
+//	                  group of a frame may be short)
+//
+// The stream ends with a trailer frame — events == 0 followed by
+// uvarint(total events) — so truncation at any byte, frame boundaries
+// included, is detectable. Chunks are self-contained (no cross-frame
+// delta chaining), so any frame decodes from one bounded read and its
+// checksum is verified on every page-in.
 
 var magic = [4]byte{'B', 'T', 'R', '1'}
+var magic2 = [4]byte{'B', 'T', 'R', '2'}
+
+// castagnoli is the CRC32C polynomial table used for BTR2 per-chunk
+// payload checksums (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// maxChunkPayload bounds a frame's declared payload length; anything
+// larger is treated as corruption rather than allocated.
+const maxChunkPayload = 1 << 28
+
+// maxChunkEvents bounds a header's declared chunk granularity.
+const maxChunkEvents = 1 << 30
 
 // groupSize is the number of events per direction-mask group.
 const groupSize = 8
 
 // ErrBadMagic is returned by NewReader when the stream does not begin with
-// the BTR1 header.
-var ErrBadMagic = errors.New("trace: bad magic (not a BTR1 trace)")
+// a BTR1 or BTR2 header.
+var ErrBadMagic = errors.New("trace: bad magic (not a BTR trace)")
+
+// ErrCorruptSpill is the sentinel every spill-corruption error unwraps
+// to: checksum mismatches, truncated streams, undecodable chunk bytes.
+// Callers branch on errors.Is(err, ErrCorruptSpill) to distinguish
+// damage (quarantine the file and re-record) from transient I/O trouble
+// (already retried) and plain absence (regenerate).
+var ErrCorruptSpill = errors.New("trace: corrupt spill data")
+
+// CorruptError describes detected spill damage: where (Path may be
+// empty when the reader only sees a stream; Chunk is -1 for structural
+// damage outside any one chunk) and what. It unwraps to ErrCorruptSpill.
+type CorruptError struct {
+	Path   string
+	Chunk  int
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	msg := "trace: corrupt spill"
+	if e.Path != "" {
+		msg += " " + e.Path
+	}
+	if e.Chunk >= 0 {
+		msg += fmt.Sprintf(" chunk %d", e.Chunk)
+	}
+	return msg + ": " + e.Reason
+}
+
+func (e *CorruptError) Unwrap() error { return ErrCorruptSpill }
 
 // ErrWriterClosed is returned when writing to a closed Writer.
 var ErrWriterClosed = errors.New("trace: writer is closed")
@@ -127,12 +193,26 @@ func (w *Writer) Flush() error {
 	return w.bw.Flush()
 }
 
-// Reader decodes a BTR1 stream. It implements Source.
+// Reader decodes a BTR1 or BTR2 stream (the header picks the format).
+// It implements Source. BTR2 frames are checksum-verified as they are
+// entered, and a missing trailer (truncation) is an error rather than a
+// silent short stream.
 type Reader struct {
 	br     *bufio.Reader
 	lastPC uint64
 	mask   byte
 	idx    int // next event index within the current group; groupSize = exhausted
+
+	// BTR2 framing state.
+	v2          bool
+	chunkEvents int
+	frame       []byte // current frame payload
+	fpos        int
+	fleft       int   // events left in the current frame
+	fidx        int   // frames consumed (chunk number for errors)
+	short       bool  // a short data frame was seen (must be the last)
+	total       int64 // events decoded so far
+	done        bool  // the end-of-stream trailer was consumed
 }
 
 // NewReader validates the header and returns a Reader positioned at the
@@ -143,14 +223,29 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("trace: reading header: %w", err)
 	}
-	if hdr != magic {
+	switch hdr {
+	case magic:
+		return &Reader{br: br, idx: groupSize}, nil
+	case magic2:
+		ce, err := binary.ReadUvarint(br)
+		if err != nil || ce == 0 || ce > maxChunkEvents {
+			return nil, &CorruptError{Chunk: -1, Reason: "bad chunk granularity in header"}
+		}
+		return &Reader{br: br, idx: groupSize, v2: true, chunkEvents: int(ce)}, nil
+	default:
 		return nil, ErrBadMagic
 	}
-	return &Reader{br: br, idx: groupSize}, nil
 }
+
+// ChunkEvents returns the stream's declared chunk granularity (BTR2), or
+// 0 for BTR1 streams, which have none.
+func (r *Reader) ChunkEvents() int { return r.chunkEvents }
 
 // Next returns the next event in the stream.
 func (r *Reader) Next() (Event, bool, error) {
+	if r.v2 {
+		return r.nextV2()
+	}
 	if r.idx == groupSize {
 		mask, err := r.br.ReadByte()
 		if err == io.EOF {
@@ -179,6 +274,110 @@ func (r *Reader) Next() (Event, bool, error) {
 	taken := r.mask&(1<<uint(r.idx)) != 0
 	r.idx++
 	return Event{PC: r.lastPC, Taken: taken}, true, nil
+}
+
+// nextV2 is Next over BTR2 chunk frames: enter the next frame when the
+// current one is exhausted (verifying its checksum), then decode groups
+// out of the frame's payload buffer.
+func (r *Reader) nextV2() (Event, bool, error) {
+	for r.fleft == 0 {
+		if r.done {
+			return Event{}, false, nil
+		}
+		if err := r.nextFrame(); err != nil {
+			return Event{}, false, err
+		}
+	}
+	if r.idx == groupSize {
+		if r.fpos >= len(r.frame) {
+			return Event{}, false, &CorruptError{Chunk: r.fidx - 1, Reason: "chunk payload ends mid-group"}
+		}
+		r.mask = r.frame[r.fpos]
+		r.fpos++
+		r.idx = 0
+	}
+	word, w := binary.Uvarint(r.frame[r.fpos:])
+	if w <= 0 {
+		return Event{}, false, &CorruptError{Chunk: r.fidx - 1, Reason: "undecodable delta in chunk payload"}
+	}
+	r.fpos += w
+	r.lastPC += uint64(unzigzag(word))
+	taken := r.mask&(1<<uint(r.idx)) != 0
+	r.idx++
+	r.fleft--
+	r.total++
+	return Event{PC: r.lastPC, Taken: taken}, true, nil
+}
+
+// frameReadErr maps a failed frame-field read: running out of bytes is
+// truncation (corruption); anything else is a real I/O error.
+func (r *Reader) frameReadErr(err error, reason string) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return &CorruptError{Chunk: r.fidx, Reason: reason}
+	}
+	return fmt.Errorf("trace: reading chunk frame: %w", err)
+}
+
+// nextFrame consumes one BTR2 frame header + payload, or the trailer.
+func (r *Reader) nextFrame() error {
+	events, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return r.frameReadErr(err, "stream ends without its trailer (truncated?)")
+	}
+	if events == 0 {
+		total, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return r.frameReadErr(err, "truncated end-of-stream trailer")
+		}
+		if int64(total) != r.total {
+			return &CorruptError{Chunk: -1, Reason: fmt.Sprintf("trailer counts %d events, stream holds %d", total, r.total)}
+		}
+		if _, err := r.br.ReadByte(); err != io.EOF {
+			return &CorruptError{Chunk: -1, Reason: "bytes past the end-of-stream trailer"}
+		}
+		r.done = true
+		return nil
+	}
+	if r.short {
+		return &CorruptError{Chunk: r.fidx, Reason: "short chunk frame is not the last"}
+	}
+	if int(events) > r.chunkEvents {
+		return &CorruptError{Chunk: r.fidx, Reason: fmt.Sprintf("chunk frame holds %d events, granularity is %d", events, r.chunkEvents)}
+	}
+	if int(events) < r.chunkEvents {
+		r.short = true
+	}
+	plen, err := binary.ReadUvarint(r.br)
+	if err != nil || plen == 0 || plen > maxChunkPayload {
+		if err == nil {
+			return &CorruptError{Chunk: r.fidx, Reason: "bad chunk frame length"}
+		}
+		return r.frameReadErr(err, "truncated chunk frame header")
+	}
+	startPC, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return r.frameReadErr(err, "truncated chunk frame header")
+	}
+	var crcb [4]byte
+	if _, err := io.ReadFull(r.br, crcb[:]); err != nil {
+		return r.frameReadErr(err, "truncated chunk frame header")
+	}
+	if cap(r.frame) < int(plen) {
+		r.frame = make([]byte, plen)
+	}
+	r.frame = r.frame[:plen]
+	if _, err := io.ReadFull(r.br, r.frame); err != nil {
+		return r.frameReadErr(err, "truncated chunk payload")
+	}
+	if crc32.Checksum(r.frame, castagnoli) != binary.LittleEndian.Uint32(crcb[:]) {
+		return &CorruptError{Chunk: r.fidx, Reason: "chunk checksum mismatch"}
+	}
+	r.lastPC = startPC
+	r.fpos = 0
+	r.fleft = int(events)
+	r.idx = groupSize
+	r.fidx++
+	return nil
 }
 
 // WriteText streams events from src to w in a line-oriented text format

@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Injectable I/O for the spill path. Every spill read, write and sync
+// funnels through a SpillIO, so chaos tests can schedule deterministic
+// faults — fail-the-Nth-op, short reads, bit flips, ENOSPC — against the
+// exact syscalls production takes, and pin each recovery path (retry,
+// quarantine + re-record, clean Seal failure) under -race.
+
+// SpillIO is the file-operation surface spill machinery goes through.
+// The default implementation calls straight into the os.File; tests
+// substitute a FaultingIO.
+type SpillIO interface {
+	ReadAt(f *os.File, p []byte, off int64) (int, error)
+	Write(f *os.File, p []byte) (int, error)
+	Sync(f *os.File) error
+}
+
+// directIO is the production SpillIO: a transparent passthrough.
+type directIO struct{}
+
+func (directIO) ReadAt(f *os.File, p []byte, off int64) (int, error) { return f.ReadAt(p, off) }
+func (directIO) Write(f *os.File, p []byte) (int, error)             { return f.Write(p) }
+func (directIO) Sync(f *os.File) error                               { return f.Sync() }
+
+// defaultSpillIO is what handles and recorders use unless injected.
+var defaultSpillIO SpillIO = directIO{}
+
+// FaultOp names one SpillIO operation for fault scheduling.
+type FaultOp int
+
+const (
+	OpReadAt FaultOp = iota
+	OpWrite
+	OpSync
+)
+
+// FaultKind is what a scheduled fault does to its operation.
+type FaultKind int
+
+const (
+	// FaultError fails the op with Fault.Err (default: a transient EIO).
+	FaultError FaultKind = iota
+	// FaultShortRead performs the read but returns only half the
+	// requested bytes (with a nil error, like a truncated file would).
+	FaultShortRead
+	// FaultBitFlip performs the op but flips one bit of the data read.
+	FaultBitFlip
+	// FaultENOSPC fails the op with syscall.ENOSPC.
+	FaultENOSPC
+)
+
+// Fault schedules one deterministic failure: the Nth (1-based) SpillIO
+// operation of kind Op misbehaves per Kind. Sticky faults keep firing on
+// every operation from the Nth onward (a persistently bad disk);
+// non-sticky faults fire exactly once (a transient hiccup).
+type Fault struct {
+	Op     FaultOp
+	Nth    int
+	Kind   FaultKind
+	Err    error
+	Sticky bool
+}
+
+// FaultingIO is a SpillIO wrapper driving a deterministic fault
+// schedule. It is safe for concurrent use; per-op counters make the
+// schedule reproducible regardless of goroutine interleaving within one
+// op kind.
+type FaultingIO struct {
+	mu     sync.Mutex
+	next   SpillIO
+	faults []Fault
+	count  map[FaultOp]int
+	fired  int
+}
+
+// NewFaultingIO builds a fault-injecting SpillIO over the direct
+// implementation.
+func NewFaultingIO(faults ...Fault) *FaultingIO {
+	return &FaultingIO{next: defaultSpillIO, faults: faults, count: make(map[FaultOp]int)}
+}
+
+// Fired returns how many operations were faulted so far.
+func (fio *FaultingIO) Fired() int {
+	fio.mu.Lock()
+	defer fio.mu.Unlock()
+	return fio.fired
+}
+
+// Ops returns how many operations of kind op were issued so far.
+func (fio *FaultingIO) Ops(op FaultOp) int {
+	fio.mu.Lock()
+	defer fio.mu.Unlock()
+	return fio.count[op]
+}
+
+// match counts the operation and returns the fault scheduled for it, if
+// any.
+func (fio *FaultingIO) match(op FaultOp) *Fault {
+	fio.mu.Lock()
+	defer fio.mu.Unlock()
+	fio.count[op]++
+	n := fio.count[op]
+	for i := range fio.faults {
+		f := &fio.faults[i]
+		if f.Op == op && (n == f.Nth || (f.Sticky && n >= f.Nth)) {
+			fio.fired++
+			return f
+		}
+	}
+	return nil
+}
+
+func faultErr(f *Fault) error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return syscall.EIO
+}
+
+func (fio *FaultingIO) ReadAt(f *os.File, p []byte, off int64) (int, error) {
+	ft := fio.match(OpReadAt)
+	if ft == nil {
+		return fio.next.ReadAt(f, p, off)
+	}
+	switch ft.Kind {
+	case FaultShortRead:
+		if len(p) <= 1 {
+			return 0, io.ErrUnexpectedEOF
+		}
+		return fio.next.ReadAt(f, p[:len(p)/2], off)
+	case FaultBitFlip:
+		n, err := fio.next.ReadAt(f, p, off)
+		if n > 0 {
+			p[n/2] ^= 0x10
+		}
+		return n, err
+	case FaultENOSPC:
+		return 0, syscall.ENOSPC
+	default:
+		return 0, faultErr(ft)
+	}
+}
+
+func (fio *FaultingIO) Write(f *os.File, p []byte) (int, error) {
+	ft := fio.match(OpWrite)
+	if ft == nil {
+		return fio.next.Write(f, p)
+	}
+	if ft.Kind == FaultENOSPC {
+		return 0, syscall.ENOSPC
+	}
+	return 0, faultErr(ft)
+}
+
+func (fio *FaultingIO) Sync(f *os.File) error {
+	ft := fio.match(OpSync)
+	if ft == nil {
+		return fio.next.Sync(f)
+	}
+	if ft.Kind == FaultENOSPC {
+		return syscall.ENOSPC
+	}
+	return faultErr(ft)
+}
+
+// Spill read retry policy: transient errors get a handful of attempts
+// with short exponential backoff before escalating. The delays are tiny
+// relative to any real device recovery but keep tests fast; the point is
+// bounded persistence, not infinite patience.
+var spillRetryDelays = [...]time.Duration{time.Millisecond, 4 * time.Millisecond, 16 * time.Millisecond}
+
+// transientIOError reports whether a spill read failure is worth
+// retrying. Running out of bytes is truncation, a missing file is
+// absence, a full disk will not un-fill, and detected corruption never
+// heals — none of those retry. Everything else (EIO and friends) might
+// be a passing glitch.
+func transientIOError(err error) bool {
+	switch {
+	case err == nil,
+		errors.Is(err, io.EOF),
+		errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, fs.ErrNotExist),
+		errors.Is(err, syscall.ENOSPC),
+		errors.Is(err, ErrCorruptSpill):
+		return false
+	}
+	return true
+}

@@ -6,6 +6,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Handle is the out-of-core view of one recording: the same chunked
@@ -47,15 +48,20 @@ func (d *DecodedChunk) SizeBytes() int64 {
 	return int64(len(d.PCs))*8 + int64(len(d.Dirs))*8
 }
 
-// chunkPos locates one chunk inside a BTR1 spill file. Chunk boundaries
-// need not align with the format's 8-event groups, so a chunk may start
-// mid-group: off is the offset of the group containing the chunk's
-// first event, skip counts that group's leading events (and their
-// deltas) belonging to the previous chunk, and startPC is the PC
-// preceding the chunk's first event, from which its deltas chain.
+// chunkPos locates one chunk inside a spill file. In a BTR2 file each
+// chunk is a self-contained frame: off is the payload offset, plen its
+// length and crc its CRC32C, verified on every page-in. In a legacy
+// BTR1 file (plen == 0) chunk boundaries need not align with the
+// format's 8-event groups, so a chunk may start mid-group: off is the
+// offset of the group containing the chunk's first event and skip
+// counts that group's leading events (and their deltas) belonging to
+// the previous chunk. Either way startPC is the PC preceding the
+// chunk's first event, from which its deltas chain.
 type chunkPos struct {
 	off     int64
 	startPC uint64
+	plen    int64
+	crc     uint32
 	skip    uint8
 }
 
@@ -74,8 +80,10 @@ type Handle struct {
 	fileSize int64
 	idx      []chunkPos  // per-chunk file positions, lazily built
 	mm       *mmapRegion // read-only mapping of the spill file; nil = pread
+	sio      SpillIO     // injectable spill file ops; nil = direct
 
-	pageIns atomic.Int64
+	pageIns     atomic.Int64
+	readRetries atomic.Int64
 }
 
 // NewResidentHandle wraps an in-memory trace as a fully resident
@@ -92,9 +100,11 @@ func NewResidentHandle(tr *ChunkedTrace) *Handle {
 	}
 }
 
-// OpenSpillHandle opens a BTR1 spill file as a handle with no resident
-// columns: one sequential scan builds the chunk index (offsets only —
-// no columns are retained), after which chunks page in on demand.
+// OpenSpillHandle opens a spill file (BTR2 or legacy BTR1) as a handle
+// with no resident columns: one sequential scan builds the chunk index
+// (offsets only — no columns are retained), after which chunks page in
+// on demand. A structurally damaged or truncated BTR2 file fails here
+// with an error unwrapping to ErrCorruptSpill.
 func OpenSpillHandle(path string, chunkEvents int) (*Handle, error) {
 	if chunkEvents <= 0 {
 		chunkEvents = DefaultChunkEvents
@@ -160,6 +170,50 @@ func (h *Handle) ResidentPeak() int64 {
 // PageIns returns the cumulative count of chunks re-read from the spill
 // file.
 func (h *Handle) PageIns() int64 { return h.pageIns.Load() }
+
+// ReadRetries returns the cumulative count of spill reads re-issued
+// after a transient I/O error.
+func (h *Handle) ReadRetries() int64 { return h.readRetries.Load() }
+
+// SetSpillIO injects the I/O layer the handle's spill page-ins go
+// through (nil restores direct file ops). For fault-injection tests.
+func (h *Handle) SetSpillIO(sio SpillIO) {
+	h.mu.Lock()
+	h.sio = sio
+	h.mu.Unlock()
+}
+
+// spillIO returns the handle's effective I/O layer.
+func (h *Handle) spillIO() SpillIO {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.sio == nil {
+		return defaultSpillIO
+	}
+	return h.sio
+}
+
+// readFull reads len(p) bytes at off, retrying transient failures with
+// bounded backoff. A short read with no error (or EOF) surfaces as
+// io.ErrUnexpectedEOF — the file is shorter than the index says, which
+// is truncation, not a glitch — and is not retried.
+func (h *Handle) readFull(f *os.File, p []byte, off int64) error {
+	sio := h.spillIO()
+	for attempt := 0; ; attempt++ {
+		n, err := sio.ReadAt(f, p, off)
+		if err == nil && n == len(p) {
+			return nil
+		}
+		if err == nil || err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		if !transientIOError(err) || attempt >= len(spillRetryDelays) {
+			return err
+		}
+		h.readRetries.Add(1)
+		time.Sleep(spillRetryDelays[attempt])
+	}
+}
 
 // Spilled reports whether the recording is backed by a BTR1 file.
 func (h *Handle) Spilled() bool {
@@ -258,7 +312,8 @@ func (h *Handle) indexLocked() ([]chunkPos, error) {
 		return nil, err
 	}
 	if events != h.events {
-		return nil, fmt.Errorf("trace: spill file holds %d events, handle expects %d", events, h.events)
+		return nil, &CorruptError{Path: h.path, Chunk: -1,
+			Reason: fmt.Sprintf("spill file holds %d events, handle expects %d", events, h.events)}
 	}
 	h.idx = idx
 	return idx, nil
@@ -345,9 +400,9 @@ func (h *Handle) DecodeChunkInto(k int, pcs, dirs []uint64) (DecodedChunk, error
 
 	var d DecodedChunk
 	if mm != nil {
-		d, err = readChunkMapped(mm, idx, fileSize, k, h.chunkLen(k), h.chunkEvents, pcs, dirs)
+		d, err = h.readChunkMapped(mm, idx, fileSize, k, h.chunkLen(k), pcs, dirs)
 	} else {
-		d, err = readChunkAt(f, idx, fileSize, k, h.chunkLen(k), h.chunkEvents, pcs, dirs)
+		d, err = h.readChunkAt(f, idx, fileSize, k, h.chunkLen(k), pcs, dirs)
 	}
 	if err != nil {
 		return DecodedChunk{}, err
@@ -426,12 +481,15 @@ func (h *Handle) DecodeChunkRun(k0, n int) ([]DecodedChunk, error) {
 	bp := getPageBuf(int(end - start))
 	defer putPageBuf(bp)
 	buf := *bp
-	if _, err := f.ReadAt(buf, start); err != nil {
+	if err := h.readFull(f, buf, start); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, &CorruptError{Chunk: k0, Reason: "spill file shorter than its chunk index (truncated?)"}
+		}
 		return nil, fmt.Errorf("trace: paging spill chunks [%d,%d): %w", k0, k0+n, err)
 	}
 	for i := range rest {
 		k := k0 + i
-		d, err := decodeChunkBytes(buf[idx[k].off-start:], idx[k], k, h.chunkLen(k), h.chunkEvents, nil, nil)
+		d, err := decodeChunk(buf[idx[k].off-start:], idx[k], k, h.chunkLen(k), h.chunkEvents, nil, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -471,7 +529,8 @@ func (h *Handle) materialise() (*ChunkedTrace, bool, error) {
 		return nil, true, err
 	}
 	if tr.events != h.events {
-		return nil, true, fmt.Errorf("trace: spill file holds %d events, handle expects %d", tr.events, h.events)
+		return nil, true, &CorruptError{Path: h.path, Chunk: -1,
+			Reason: fmt.Sprintf("spill file holds %d events, handle expects %d", tr.events, h.events)}
 	}
 	h.pageIns.Add(int64(len(tr.chunks)))
 
@@ -527,7 +586,9 @@ func (r *handleReader) NextChunk() (pcs []uint64, dirs []uint64, n int, ok bool)
 	}
 	d, err := r.h.DecodeChunkInto(r.next, r.pcs, r.dirs)
 	if err != nil {
-		panic(fmt.Sprintf("trace: paging chunk %d: %v", r.next, err))
+		// The panic value is an error wrapping the cause, so a recover
+		// further up can errors.Is it (e.g. against ErrCorruptSpill).
+		panic(fmt.Errorf("trace: paging chunk %d: %w", r.next, err))
 	}
 	r.next++
 	r.pcs = d.PCs

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // DecodedPool is a byte-budgeted cache of decoded chunk columns over
@@ -158,8 +159,10 @@ func (p *DecodedPool) Checkout(k int) *DecodedChunk {
 	if err != nil {
 		// Settle the flight before panicking so waiters unblock (they
 		// re-claim, hit the same error, and panic with the same context).
+		// The panic value is an error wrapping the cause, so recovery at
+		// the sweep layer can classify it (errors.Is ErrCorruptSpill).
 		p.settleFlight(k)
-		panic(fmt.Sprintf("trace: decoding chunk %d: %v", k, err))
+		panic(fmt.Errorf("trace: decoding chunk %d: %w", k, err))
 	}
 
 	p.mu.Lock()
@@ -387,10 +390,13 @@ const (
 
 // prefetcher is the pool's background read-ahead: a bounded hint queue
 // drained by worker goroutines that decode upcoming chunks into the
-// pool before the sweep cursor arrives.
+// pool before the sweep cursor arrives. canceled makes the workers
+// discard batches instead of decoding them, so a canceled or poisoned
+// sweep unwinds without waiting behind queued page-ins.
 type prefetcher struct {
-	reqs chan int
-	wg   sync.WaitGroup
+	reqs     chan int
+	wg       sync.WaitGroup
+	canceled atomic.Bool
 }
 
 // EnablePrefetch starts the pool's background prefetcher with the given
@@ -466,6 +472,20 @@ func (p *DecodedPool) Prefetch(k int) {
 	}
 }
 
+// CancelPrefetch makes the prefetcher drop queued hints instead of
+// decoding them. Demand checkouts are unaffected; call it ahead of
+// ClosePrefetch on a cancellation or poison path so the unwind does not
+// wait behind a window of now-useless page-ins. Idempotent and safe
+// without EnablePrefetch.
+func (p *DecodedPool) CancelPrefetch() {
+	p.mu.Lock()
+	pf := p.pf
+	p.mu.Unlock()
+	if pf != nil {
+		pf.canceled.Store(true)
+	}
+}
+
 // ClosePrefetch stops the prefetcher and waits for in-flight decodes to
 // settle. Idempotent, safe without EnablePrefetch, and safe to call
 // concurrently with Checkout/Prefetch; call it before reading final
@@ -519,6 +539,9 @@ func (p *DecodedPool) prefetchLoop(pf *prefetcher) {
 			default:
 				break drain
 			}
+		}
+		if pf.canceled.Load() {
+			continue
 		}
 		p.runPrefetchBatch(batch)
 	}

@@ -4,21 +4,158 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
 	"sync"
 )
 
-// Spill-file machinery for out-of-core recordings: BTR1 files double as
-// the paging store behind a Handle. The format is self-delimiting and
-// deltas chain across its 8-event groups, so random access needs a
-// chunk index (chunkPos) — one sequential scan per file — after which
-// any chunk decodes from a single bounded ReadAt.
+// Spill-file machinery for out-of-core recordings: BTR files double as
+// the paging store behind a Handle. New spill files are written in the
+// checksummed BTR2 chunk-frame format (codec.go), whose frames map 1:1
+// onto the handle's chunks — random access is one bounded ReadAt per
+// frame, and the frame checksum is verified on every page-in, pread and
+// mmap alike. Legacy BTR1 files remain readable: their self-delimiting
+// group stream needs a sequential scan to build a chunk index
+// (chunkPos), after which chunks decode from group spans, with
+// structural checks but no checksums.
 
-// writeSpill encodes the trace as a BTR1 file, via a temp file and
-// rename so concurrent writers of the same deterministic recording
-// cannot leave a torn file.
+// spillEncoder streams events into BTR2 chunk frames on an io.Writer,
+// tracking the chunk index as it goes. It is the shared encoding core
+// of writeSpill (whole trace at once) and StreamRecorder (out-of-core,
+// event at a time).
+type spillEncoder struct {
+	w           io.Writer
+	chunkEvents int
+
+	off          int64 // bytes emitted: header + completed frames
+	idx          []chunkPos
+	groupMask    byte
+	groupDeltas  []byte
+	np           int // events pending in the current group
+	lastPC       uint64
+	chunkStartPC uint64
+	chunkN       int    // events in the open chunk
+	chunkBuf     []byte // the open chunk's encoded groups
+	events       int64
+	deltaBytes   int64
+
+	err error
+}
+
+// newSpillEncoder writes the BTR2 header and returns an encoder cutting
+// frames every chunkEvents events (<= 0 means DefaultChunkEvents).
+func newSpillEncoder(w io.Writer, chunkEvents int) (*spillEncoder, error) {
+	if chunkEvents <= 0 {
+		chunkEvents = DefaultChunkEvents
+	}
+	e := &spillEncoder{w: w, chunkEvents: chunkEvents}
+	var hdr [4 + binary.MaxVarintLen64]byte
+	copy(hdr[:], magic2[:])
+	n := 4 + binary.PutUvarint(hdr[4:], uint64(chunkEvents))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return nil, fmt.Errorf("trace: writing spill header: %w", err)
+	}
+	e.off = int64(n)
+	return e, nil
+}
+
+// Branch encodes one event. Write errors are sticky; finish reports them.
+func (e *spillEncoder) Branch(pc uint64, taken bool) {
+	if e.err != nil {
+		return
+	}
+	if e.chunkN == 0 {
+		e.chunkStartPC = e.lastPC
+	}
+	if taken {
+		e.groupMask |= 1 << uint(e.np)
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(scratch[:], zigzag(int64(pc-e.lastPC)))
+	e.groupDeltas = append(e.groupDeltas, scratch[:n]...)
+	e.deltaBytes += int64(n)
+	e.lastPC = pc
+	e.np++
+	e.chunkN++
+	e.events++
+	if e.np == groupSize {
+		e.emitGroup()
+	}
+	if e.chunkN == e.chunkEvents {
+		e.flushChunk()
+	}
+}
+
+// emitGroup appends the pending (possibly short) group to the open
+// chunk's payload. Short groups only ever end a chunk: Branch emits at
+// every 8th event, and flushChunk drains the remainder.
+func (e *spillEncoder) emitGroup() {
+	if e.np == 0 {
+		return
+	}
+	e.chunkBuf = append(e.chunkBuf, e.groupMask)
+	e.chunkBuf = append(e.chunkBuf, e.groupDeltas...)
+	e.np = 0
+	e.groupMask = 0
+	e.groupDeltas = e.groupDeltas[:0]
+}
+
+// flushChunk frames and writes the open chunk: header (event count,
+// payload length, chaining PC, CRC32C), then the payload.
+func (e *spillEncoder) flushChunk() {
+	if e.err != nil || e.chunkN == 0 {
+		return
+	}
+	e.emitGroup()
+	sum := crc32.Checksum(e.chunkBuf, castagnoli)
+	var hdr [3*binary.MaxVarintLen64 + 4]byte
+	n := binary.PutUvarint(hdr[:], uint64(e.chunkN))
+	n += binary.PutUvarint(hdr[n:], uint64(len(e.chunkBuf)))
+	n += binary.PutUvarint(hdr[n:], e.chunkStartPC)
+	binary.LittleEndian.PutUint32(hdr[n:], sum)
+	n += 4
+	if _, err := e.w.Write(hdr[:n]); err != nil {
+		e.err = fmt.Errorf("trace: writing spill chunk frame: %w", err)
+		return
+	}
+	if _, err := e.w.Write(e.chunkBuf); err != nil {
+		e.err = fmt.Errorf("trace: writing spill chunk payload: %w", err)
+		return
+	}
+	e.idx = append(e.idx, chunkPos{
+		off:     e.off + int64(n),
+		startPC: e.chunkStartPC,
+		plen:    int64(len(e.chunkBuf)),
+		crc:     sum,
+	})
+	e.off += int64(n) + int64(len(e.chunkBuf))
+	e.chunkBuf = e.chunkBuf[:0]
+	e.chunkN = 0
+}
+
+// finish flushes the final (possibly short) chunk and writes the
+// end-of-stream trailer, after which truncation anywhere in the file is
+// detectable.
+func (e *spillEncoder) finish() error {
+	e.flushChunk()
+	if e.err != nil {
+		return e.err
+	}
+	var tr [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tr[:], 0)
+	n += binary.PutUvarint(tr[n:], uint64(e.events))
+	if _, err := e.w.Write(tr[:n]); err != nil {
+		return fmt.Errorf("trace: writing spill trailer: %w", err)
+	}
+	e.off += int64(n)
+	return nil
+}
+
+// writeSpill encodes the trace as a BTR2 file, via a temp file, fsync
+// and rename: a process killed at any point leaves either the complete
+// file or a stray .tmp that no probe ever opens — never a torn .btr.
 func writeSpill(path string, tr *ChunkedTrace) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
@@ -27,10 +164,17 @@ func writeSpill(path string, tr *ChunkedTrace) error {
 	if err != nil {
 		return err
 	}
-	w, err := NewWriter(f)
+	bw := bufio.NewWriterSize(f, 1<<16)
+	enc, err := newSpillEncoder(bw, tr.chunkEvents)
 	if err == nil {
-		tr.Replay(w)
-		err = w.Close()
+		tr.Replay(enc)
+		err = enc.finish()
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
@@ -46,8 +190,8 @@ func writeSpill(path string, tr *ChunkedTrace) error {
 	return nil
 }
 
-// readSpill decodes a BTR1 spill file back into a chunked trace at the
-// key's granularity; the (pc, taken) stream round-trips exactly, so the
+// readSpill decodes a spill file back into a chunked trace at the key's
+// granularity; the (pc, taken) stream round-trips exactly, so the
 // reloaded trace replays bit-identically to the original recording.
 func readSpill(path string, chunkEvents int) (*ChunkedTrace, error) {
 	f, err := os.Open(path)
@@ -59,7 +203,8 @@ func readSpill(path string, chunkEvents int) (*ChunkedTrace, error) {
 }
 
 // readSpillFrom is readSpill over an arbitrary reader (e.g. a section
-// of an already-open spill file).
+// of an already-open spill file). Either format decodes; BTR2 frames
+// are checksum-verified as they stream past.
 func readSpillFrom(r io.Reader, chunkEvents int) (*ChunkedTrace, error) {
 	br, err := NewReader(r)
 	if err != nil {
@@ -73,7 +218,7 @@ func readSpillFrom(r io.Reader, chunkEvents int) (*ChunkedTrace, error) {
 }
 
 // countingReader tracks the byte offset of a buffered reader, so the
-// spill scanner can record exact group positions.
+// spill scanner can record exact chunk positions.
 type countingReader struct {
 	br  *bufio.Reader
 	off int64
@@ -93,20 +238,45 @@ func (c *countingReader) ReadByte() (byte, error) {
 	return b, err
 }
 
-// scanSpill walks a BTR1 stream once, recording where each chunk of
-// chunkEvents events begins (group offset, in-group skip, chaining PC)
-// without retaining any columns. It also reports the event count and
-// the total delta bytes, from which a would-be resident footprint is
-// derived.
+// scanSpill walks a spill stream once, building the chunk index without
+// retaining columns, and reports the event count and total delta bytes
+// (from which a would-be resident footprint is derived). For BTR2 the
+// requested granularity must match the file's; checksums are deferred
+// to page-in (the scan is the cheap open path), but frame structure and
+// the trailer are verified, so a truncated v2 file fails here.
 func scanSpill(r io.Reader, chunkEvents int) (idx []chunkPos, events int64, deltaBytes int64, err error) {
+	idx, events, deltaBytes, _, err = scanSpillAny(r, chunkEvents)
+	return idx, events, deltaBytes, err
+}
+
+// scanSpillAny is scanSpill additionally reporting the granularity the
+// index was built at. chunkEvents <= 0 accepts whatever a v2 header
+// declares (and scans v1 at DefaultChunkEvents) — the verifier's mode,
+// where the caller does not know the file's granularity up front.
+func scanSpillAny(r io.Reader, chunkEvents int) (idx []chunkPos, events int64, deltaBytes int64, granularity int, err error) {
 	c := &countingReader{br: bufio.NewReaderSize(r, 1<<16)}
 	var hdr [4]byte
 	if _, err := io.ReadFull(c, hdr[:]); err != nil {
-		return nil, 0, 0, fmt.Errorf("trace: reading spill header: %w", err)
+		return nil, 0, 0, 0, fmt.Errorf("trace: reading spill header: %w", err)
 	}
-	if hdr != magic {
-		return nil, 0, 0, ErrBadMagic
+	switch hdr {
+	case magic2:
+		return scanSpillV2(c, chunkEvents)
+	case magic:
+		if chunkEvents <= 0 {
+			chunkEvents = DefaultChunkEvents
+		}
+		idx, events, deltaBytes, err = scanSpillV1(c, chunkEvents)
+		return idx, events, deltaBytes, chunkEvents, err
+	default:
+		return nil, 0, 0, 0, ErrBadMagic
 	}
+}
+
+// scanSpillV1 indexes a legacy BTR1 group stream: chunk boundaries fall
+// mid-group, so each chunkPos carries the containing group's offset, an
+// in-group skip and the chaining PC.
+func scanSpillV1(c *countingReader, chunkEvents int) (idx []chunkPos, events int64, deltaBytes int64, err error) {
 	var pc uint64
 	var groups int64
 scan:
@@ -136,15 +306,98 @@ scan:
 		}
 	}
 	// Everything that is not the header or a group mask is delta bytes.
-	return idx, events, c.off - int64(len(magic)) - groups, nil
+	return idx, events, deltaBytes + c.off - int64(len(magic)) - groups, nil
 }
 
-// chunkSpan computes the byte range of the spill file covering chunk
-// k's groups. The skip fields of idx make chunk boundaries independent
-// of the format's 8-event groups: when the next chunk starts mid-group,
-// this chunk's final events live past that chunk's group offset, so the
-// span extends by the mask byte plus at most skip full-width deltas.
+// scanSpillV2 indexes a BTR2 frame stream, verifying frame structure
+// and the end-of-stream trailer (payload checksums are checked at
+// page-in). chunkEvents <= 0 accepts the header's declared granularity.
+func scanSpillV2(c *countingReader, chunkEvents int) (idx []chunkPos, events int64, deltaBytes int64, granularity int, err error) {
+	declared, err := binary.ReadUvarint(c)
+	if err != nil || declared == 0 || declared > maxChunkEvents {
+		return nil, 0, 0, 0, &CorruptError{Chunk: -1, Reason: "bad chunk granularity in header"}
+	}
+	if chunkEvents > 0 && int(declared) != chunkEvents {
+		return nil, 0, 0, 0, fmt.Errorf("trace: spill file chunks every %d events, want %d", declared, chunkEvents)
+	}
+	granularity = int(declared)
+	corrupt := func(chunk int, reason string) ([]chunkPos, int64, int64, int, error) {
+		return nil, 0, 0, 0, &CorruptError{Chunk: chunk, Reason: reason}
+	}
+	fieldErr := func(ferr error, chunk int, reason string) ([]chunkPos, int64, int64, int, error) {
+		if ferr == io.EOF || ferr == io.ErrUnexpectedEOF {
+			return corrupt(chunk, reason)
+		}
+		return nil, 0, 0, 0, fmt.Errorf("trace: scanning spill: %w", ferr)
+	}
+	short := false
+	for {
+		n, err := binary.ReadUvarint(c)
+		if err != nil {
+			return fieldErr(err, len(idx), "stream ends without its trailer (truncated?)")
+		}
+		if n == 0 {
+			total, err := binary.ReadUvarint(c)
+			if err != nil {
+				return fieldErr(err, -1, "truncated end-of-stream trailer")
+			}
+			if int64(total) != events {
+				return corrupt(-1, fmt.Sprintf("trailer counts %d events, stream holds %d", total, events))
+			}
+			if _, err := c.ReadByte(); err != io.EOF {
+				return corrupt(-1, "bytes past the end-of-stream trailer")
+			}
+			return idx, events, deltaBytes, granularity, nil
+		}
+		if short {
+			return corrupt(len(idx), "short chunk frame is not the last")
+		}
+		if n > declared {
+			return corrupt(len(idx), fmt.Sprintf("chunk frame holds %d events, granularity is %d", n, declared))
+		}
+		if n < declared {
+			short = true
+		}
+		plen, err := binary.ReadUvarint(c)
+		if err != nil {
+			return fieldErr(err, len(idx), "truncated chunk frame header")
+		}
+		if plen == 0 || plen > maxChunkPayload {
+			return corrupt(len(idx), "bad chunk frame length")
+		}
+		startPC, err := binary.ReadUvarint(c)
+		if err != nil {
+			return fieldErr(err, len(idx), "truncated chunk frame header")
+		}
+		var crcb [4]byte
+		if _, err := io.ReadFull(c, crcb[:]); err != nil {
+			return fieldErr(err, len(idx), "truncated chunk frame header")
+		}
+		payloadOff := c.off
+		if _, err := io.CopyN(io.Discard, c, int64(plen)); err != nil {
+			return fieldErr(err, len(idx), "truncated chunk payload")
+		}
+		idx = append(idx, chunkPos{
+			off:     payloadOff,
+			startPC: startPC,
+			plen:    int64(plen),
+			crc:     binary.LittleEndian.Uint32(crcb[:]),
+		})
+		events += int64(n)
+		deltaBytes += int64(plen) - (int64(n)+groupSize-1)/groupSize
+	}
+}
+
+// chunkSpan computes the byte range of the spill file covering chunk k.
+// BTR2 chunks are self-contained frames, so the span is exactly the
+// payload. BTR1 chunk boundaries are independent of the format's
+// 8-event groups: when the next chunk starts mid-group, this chunk's
+// final events live past that chunk's group offset, so the span extends
+// by the mask byte plus at most skip full-width deltas.
 func chunkSpan(idx []chunkPos, fileSize int64, k int) (start, end int64) {
+	if idx[k].plen > 0 {
+		return idx[k].off, idx[k].off + idx[k].plen
+	}
 	start = idx[k].off
 	end = fileSize
 	if k+1 < len(idx) {
@@ -160,9 +413,9 @@ func chunkSpan(idx []chunkPos, fileSize int64, k int) (start, end int64) {
 }
 
 // pageBufPool recycles the scratch buffers spill page-ins read encoded
-// group spans into. The decode copies everything it needs into the
-// chunk's columns, so the buffer never outlives the call and
-// steady-state streaming does zero per-page-in allocations.
+// spans into. The decode copies everything it needs into the chunk's
+// columns, so the buffer never outlives the call and steady-state
+// streaming does zero per-page-in allocations.
 var pageBufPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // getPageBuf returns a pooled scratch buffer of length n.
@@ -178,33 +431,57 @@ func getPageBuf(n int) *[]byte {
 func putPageBuf(bp *[]byte) { pageBufPool.Put(bp) }
 
 // readChunkAt pages chunk k (n events) from an open spill file: one
-// ReadAt covering the chunk's group span, then a straight decode.
-// Buffers are reused when large enough.
-func readChunkAt(f *os.File, idx []chunkPos, fileSize int64, k, n, chunkEvents int, pcs, dirs []uint64) (DecodedChunk, error) {
+// ReadAt covering the chunk's span (retried with backoff on transient
+// errors), then a checksum-verified decode. Buffers are reused when
+// large enough.
+func (h *Handle) readChunkAt(f *os.File, idx []chunkPos, fileSize int64, k, n int, pcs, dirs []uint64) (DecodedChunk, error) {
 	start, end := chunkSpan(idx, fileSize, k)
 	bp := getPageBuf(int(end - start))
 	defer putPageBuf(bp)
 	buf := *bp
-	if _, err := f.ReadAt(buf, start); err != nil {
+	if err := h.readFull(f, buf, start); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return DecodedChunk{}, &CorruptError{Chunk: k, Reason: "spill file shorter than its chunk index (truncated?)"}
+		}
 		return DecodedChunk{}, fmt.Errorf("trace: paging spill chunk %d: %w", k, err)
 	}
-	return decodeChunkBytes(buf, idx[k], k, n, chunkEvents, pcs, dirs)
+	return decodeChunk(buf, idx[k], k, n, h.chunkEvents, pcs, dirs)
 }
 
 // readChunkMapped is readChunkAt over an mmapped spill file: the same
-// decode, but straight out of the mapping — no read syscall, no copy of
-// the encoded bytes.
-func readChunkMapped(mm *mmapRegion, idx []chunkPos, fileSize int64, k, n, chunkEvents int, pcs, dirs []uint64) (DecodedChunk, error) {
+// checksum-verified decode, but straight out of the mapping — no read
+// syscall, no copy of the encoded bytes.
+func (h *Handle) readChunkMapped(mm *mmapRegion, idx []chunkPos, fileSize int64, k, n int, pcs, dirs []uint64) (DecodedChunk, error) {
 	start, end := chunkSpan(idx, fileSize, k)
-	return decodeChunkBytes(mm.data[start:end], idx[k], k, n, chunkEvents, pcs, dirs)
+	if end > int64(len(mm.data)) {
+		return DecodedChunk{}, &CorruptError{Chunk: k, Reason: "chunk span past the mapped file"}
+	}
+	return decodeChunk(mm.data[start:end], idx[k], k, n, h.chunkEvents, pcs, dirs)
+}
+
+// decodeChunk verifies (BTR2) and decodes chunk k from buf, which must
+// start at the chunk's span offset. Every page-in funnels through here,
+// pread and mmap alike, so a damaged chunk is detected before a single
+// wrong event reaches a replay.
+func decodeChunk(buf []byte, pos chunkPos, k, n, chunkEvents int, pcs, dirs []uint64) (DecodedChunk, error) {
+	if pos.plen > 0 {
+		if int64(len(buf)) < pos.plen {
+			return DecodedChunk{}, &CorruptError{Chunk: k, Reason: "chunk payload extends past end of file"}
+		}
+		buf = buf[:pos.plen]
+		if crc32.Checksum(buf, castagnoli) != pos.crc {
+			return DecodedChunk{}, &CorruptError{Chunk: k, Reason: "chunk checksum mismatch"}
+		}
+	}
+	return decodeChunkBytes(buf, pos, k, n, chunkEvents, pcs, dirs)
 }
 
 // decodeChunkBytes decodes chunk k (n events) from buf, which must hold
-// at least the chunk's group span starting at pos.off (the decode stops
-// after n events, so trailing bytes beyond the span are ignored).
+// at least the chunk's span starting at pos.off (the decode stops after
+// n events, so trailing bytes beyond the span are ignored).
 func decodeChunkBytes(buf []byte, pos chunkPos, k, n, chunkEvents int, pcs, dirs []uint64) (DecodedChunk, error) {
 	corrupt := func() (DecodedChunk, error) {
-		return DecodedChunk{}, fmt.Errorf("trace: corrupt spill chunk %d", k)
+		return DecodedChunk{}, &CorruptError{Chunk: k, Reason: "undecodable chunk bytes"}
 	}
 	if cap(pcs) < n {
 		pcs = make([]uint64, n)
@@ -258,7 +535,17 @@ func decodeChunkBytes(buf []byte, pos chunkPos, k, n, chunkEvents int, pcs, dirs
 	return DecodedChunk{PCs: pcs, Dirs: dirs, N: n}, nil
 }
 
-// StreamRecorder is a Sink that writes a recording straight to a BTR1
+// faultWriter adapts a SpillIO's Write to io.Writer for one file, so a
+// bufio.Writer (and the encoder above it) flushes through the
+// injectable layer.
+type faultWriter struct {
+	f   *os.File
+	sio SpillIO
+}
+
+func (fw faultWriter) Write(p []byte) (int, error) { return fw.sio.Write(fw.f, p) }
+
+// StreamRecorder is a Sink that writes a recording straight to a BTR2
 // spill file as events arrive, keeping at most a bounded prefix of
 // chunk columns resident — the out-of-core replacement for recording
 // into a ChunkRecorder and spilling afterwards, with peak memory
@@ -269,35 +556,26 @@ func decodeChunkBytes(buf []byte, pos chunkPos, k, n, chunkEvents int, pcs, dirs
 // With path == "" the recorder writes an anonymous temp file (unlinked
 // immediately; the open descriptor keeps it readable), so a bounded
 // run without a cache directory leaves nothing behind. With a path the
-// file is written via temp-and-rename, landing exactly where the trace
-// cache's spill probe will find it.
+// file is written via temp, fsync and rename, landing exactly where the
+// trace cache's spill probe will find it — and never as a torn .btr.
 //
 // The resident budget is a target, not a hard wall: retention stops at
 // the first chunk boundary past it, so the prefix may overshoot by up
 // to one chunk. residentBudget <= 0 retains nothing.
 type StreamRecorder struct {
-	chunkEvents int
-	budget      int64
-
 	f         *os.File
 	bw        *bufio.Writer
 	tmpPath   string
 	finalPath string
+	sio       SpillIO
 
-	off         int64 // bytes emitted: header + complete groups
-	groupMask   byte
-	groupDeltas []byte
-	np          int // events pending in the current group
-	lastPC      uint64
-	events      int64
-	deltaBytes  int64
-	idx         []chunkPos
+	enc *spillEncoder
 
 	rec           *ChunkRecorder // resident-prefix recorder; nil once the budget is hit
+	budget        int64
 	prefix        *ChunkedTrace
 	retainedBytes int64
 
-	err    error
 	sealed bool
 }
 
@@ -308,10 +586,17 @@ var _ Sink = (*StreamRecorder)(nil)
 // chunkEvents events (<= 0 means DefaultChunkEvents) and keeping about
 // residentBudget bytes of leading chunk columns in memory.
 func NewStreamRecorder(path string, chunkEvents int, residentBudget int64) (*StreamRecorder, error) {
-	if chunkEvents <= 0 {
-		chunkEvents = DefaultChunkEvents
+	return NewStreamRecorderIO(path, chunkEvents, residentBudget, nil)
+}
+
+// NewStreamRecorderIO is NewStreamRecorder with an injectable I/O layer
+// (nil means direct file ops). The handle Seal returns inherits it, so
+// a fault schedule covers the recording's page-ins too.
+func NewStreamRecorderIO(path string, chunkEvents int, residentBudget int64, sio SpillIO) (*StreamRecorder, error) {
+	if sio == nil {
+		sio = defaultSpillIO
 	}
-	s := &StreamRecorder{chunkEvents: chunkEvents, budget: residentBudget, finalPath: path}
+	s := &StreamRecorder{budget: residentBudget, finalPath: path, sio: sio}
 	var err error
 	if path == "" {
 		s.f, err = os.CreateTemp("", "btr-stream-*.btr")
@@ -331,14 +616,14 @@ func NewStreamRecorder(path string, chunkEvents int, residentBudget int64) (*Str
 		}
 		s.tmpPath = s.f.Name()
 	}
-	s.bw = bufio.NewWriterSize(s.f, 1<<16)
-	if _, err := s.bw.Write(magic[:]); err != nil {
+	s.bw = bufio.NewWriterSize(faultWriter{f: s.f, sio: sio}, 1<<16)
+	s.enc, err = newSpillEncoder(s.bw, chunkEvents)
+	if err != nil {
 		s.Discard()
-		return nil, fmt.Errorf("trace: writing spill header: %w", err)
+		return nil, err
 	}
-	s.off = int64(len(magic))
 	if residentBudget > 0 {
-		s.rec = NewChunkRecorder(chunkEvents)
+		s.rec = NewChunkRecorder(s.enc.chunkEvents)
 	}
 	return s, nil
 }
@@ -349,14 +634,16 @@ func (s *StreamRecorder) Branch(pc uint64, taken bool) {
 	if s.sealed {
 		panic("trace: recording into a sealed StreamRecorder")
 	}
-	if s.err != nil {
+	if s.enc.err != nil {
 		return
 	}
-	if s.events%int64(s.chunkEvents) == 0 {
-		if s.rec != nil && s.events > 0 {
-			// A chunk just completed (and was flushed by the prefix
-			// recorder at the end of the previous event): charge it, and
-			// stop retaining at the first boundary past the budget.
+	s.enc.Branch(pc, taken)
+	if s.rec != nil {
+		s.rec.Branch(pc, taken)
+		if s.enc.chunkN == 0 {
+			// A chunk just completed (the prefix recorder cuts at the same
+			// boundaries, so it just flushed too): charge it, and stop
+			// retaining at the first boundary past the budget.
 			last := &s.rec.tr.chunks[len(s.rec.tr.chunks)-1]
 			s.retainedBytes += int64(len(last.deltas)) + int64(len(last.dirs))*8
 			if s.retainedBytes > s.budget {
@@ -364,61 +651,31 @@ func (s *StreamRecorder) Branch(pc uint64, taken bool) {
 				s.rec = nil
 			}
 		}
-		s.idx = append(s.idx, chunkPos{off: s.off, startPC: s.lastPC, skip: uint8(s.np)})
 	}
-	if taken {
-		s.groupMask |= 1 << uint(s.np)
-	}
-	var scratch [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(scratch[:], zigzag(int64(pc-s.lastPC)))
-	s.groupDeltas = append(s.groupDeltas, scratch[:n]...)
-	s.deltaBytes += int64(n)
-	s.lastPC = pc
-	s.np++
-	s.events++
-	if s.rec != nil {
-		s.rec.Branch(pc, taken)
-	}
-	if s.np == groupSize {
-		s.emitGroup()
-	}
-}
-
-func (s *StreamRecorder) emitGroup() {
-	if s.np == 0 || s.err != nil {
-		return
-	}
-	if err := s.bw.WriteByte(s.groupMask); err != nil {
-		s.err = fmt.Errorf("trace: writing spill group: %w", err)
-		return
-	}
-	if _, err := s.bw.Write(s.groupDeltas); err != nil {
-		s.err = fmt.Errorf("trace: writing spill group: %w", err)
-		return
-	}
-	s.off += 1 + int64(len(s.groupDeltas))
-	s.np = 0
-	s.groupMask = 0
-	s.groupDeltas = s.groupDeltas[:0]
 }
 
 // Events returns the number of events streamed so far.
-func (s *StreamRecorder) Events() int64 { return s.events }
+func (s *StreamRecorder) Events() int64 { return s.enc.events }
 
-// Seal flushes the final group, lands the file (temp-and-rename for
-// named paths) and returns the recording as a Handle: resident prefix
-// in memory, everything else paged from the file on demand. Call it
-// exactly once; a failed Seal cleans up after itself.
+// Seal flushes the final chunk and trailer, syncs and lands the file
+// (temp-and-rename for named paths) and returns the recording as a
+// Handle: resident prefix in memory, everything else paged from the
+// file on demand. Call it exactly once; a failed Seal cleans up after
+// itself.
 func (s *StreamRecorder) Seal() (*Handle, error) {
 	if s.sealed {
 		panic("trace: sealing a sealed StreamRecorder")
 	}
-	s.emitGroup()
-	if s.err == nil {
-		s.err = s.bw.Flush()
+	err := s.enc.finish()
+	if err == nil {
+		err = s.bw.Flush()
 	}
-	if s.err != nil {
-		err := s.err
+	if err == nil {
+		if serr := s.sio.Sync(s.f); serr != nil {
+			err = fmt.Errorf("trace: syncing spill file: %w", serr)
+		}
+	}
+	if err != nil {
 		s.Discard()
 		return nil, err
 	}
@@ -446,16 +703,17 @@ func (s *StreamRecorder) Seal() (*Handle, error) {
 		peak = prefix.SizeBytes()
 	}
 	return &Handle{
-		chunkEvents:  s.chunkEvents,
-		events:       s.events,
-		nchunks:      len(s.idx),
-		encoded:      s.deltaBytes + int64(len(s.idx))*int64((s.chunkEvents+63)/64)*8,
+		chunkEvents:  s.enc.chunkEvents,
+		events:       s.enc.events,
+		nchunks:      len(s.enc.idx),
+		encoded:      s.enc.deltaBytes + int64(len(s.enc.idx))*int64((s.enc.chunkEvents+63)/64)*8,
 		residentPeak: peak,
 		res:          prefix,
 		path:         path,
 		f:            s.f,
-		fileSize:     s.off,
-		idx:          s.idx,
+		fileSize:     s.enc.off,
+		idx:          s.enc.idx,
+		sio:          s.sio,
 	}, nil
 }
 
